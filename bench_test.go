@@ -1,0 +1,320 @@
+// Benchmarks regenerating every table and figure of the paper (quick-size
+// workloads; run cmd/etsc-repro for the full-size versions), plus the
+// ablation benches DESIGN.md calls out and micro-benchmarks of the
+// distance kernels everything is built on.
+//
+//	go test -bench=. -benchmem
+package etsc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"etsc/internal/classify"
+	"etsc/internal/dataset"
+	"etsc/internal/etsc"
+	"etsc/internal/experiments"
+	"etsc/internal/stream"
+	"etsc/internal/synth"
+	"etsc/internal/ts"
+)
+
+// --- one bench per paper artifact -----------------------------------------
+
+func BenchmarkFig1CatDogDataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig1(experiments.QuickConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2StreamingSentence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig2(experiments.QuickConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3EarlyTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig3(experiments.QuickConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Homophones(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5(experiments.QuickConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Denormalization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable1(experiments.QuickConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Extended(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable1Extended(experiments.QuickConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7ECGWander(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig7(experiments.QuickConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Dustbathing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(experiments.QuickConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9PrefixSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig9(experiments.QuickConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendixBStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAppendixB(experiments.QuickConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches (DESIGN.md) ------------------------------------------
+
+func benchSplit(b *testing.B) (train, test *dataset.Dataset) {
+	b.Helper()
+	cfg := synth.DefaultGunPointConfig()
+	cfg.PerClassSize = 40
+	d, err := synth.GunPoint(synth.NewRand(42), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, test, err = d.Split(synth.NewRand(7), 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return train, test
+}
+
+// BenchmarkAblationECTSSupport compares strict vs relaxed ECTS training and
+// evaluation at min-support 0 (the paper's Table 1 setting, where the two
+// variants score identically).
+func BenchmarkAblationECTSSupport(b *testing.B) {
+	train, test := benchSplit(b)
+	for _, relaxed := range []bool{false, true} {
+		name := "strict"
+		if relaxed {
+			name = "relaxed"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := etsc.NewECTS(train, relaxed, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := etsc.Evaluate(c, test, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTEASERNorm compares TEASER with (published, footnote-2)
+// and without prefix z-normalization, on denormalized test data. The raw
+// variant is both slower to decide and far less accurate.
+func BenchmarkAblationTEASERNorm(b *testing.B) {
+	train, test := benchSplit(b)
+	denorm := test.Denormalize(synth.NewRand(99), 1.0)
+	for _, znorm := range []bool{true, false} {
+		name := "znorm-prefix"
+		if !znorm {
+			name = "raw-prefix"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := etsc.DefaultTEASERConfig()
+			cfg.ZNormPrefix = znorm
+			c, err := etsc.NewTEASER(train, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc := 0.0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := etsc.Evaluate(c, denorm, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = s.Accuracy()
+			}
+			b.ReportMetric(acc, "denorm-accuracy")
+		})
+	}
+}
+
+// BenchmarkAblationTEASERConsistency sweeps TEASER's consecutive-agreement
+// requirement v: larger v trades earliness for fewer premature commits.
+func BenchmarkAblationTEASERConsistency(b *testing.B) {
+	train, test := benchSplit(b)
+	for _, v := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("v=%d", v), func(b *testing.B) {
+			cfg := etsc.DefaultTEASERConfig()
+			cfg.V = v
+			c, err := etsc.NewTEASER(train, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var acc, earliness float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := etsc.Evaluate(c, test, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc, earliness = s.Accuracy(), s.MeanEarliness()
+			}
+			b.ReportMetric(acc, "accuracy")
+			b.ReportMetric(earliness, "earliness")
+		})
+	}
+}
+
+// BenchmarkAblationDTWBand compares ED against DTW at several band radii on
+// the classify substrate.
+func BenchmarkAblationDTWBand(b *testing.B) {
+	train, test := benchSplit(b)
+	dists := []classify.Distance{
+		classify.EuclideanDistance{},
+		classify.DTWDistance{Radius: 3},
+		classify.DTWDistance{Radius: 10},
+		classify.DTWDistance{Radius: -1},
+	}
+	for _, d := range dists {
+		b.Run(d.Name(), func(b *testing.B) {
+			knn, err := classify.NewKNN(train, 1, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub := test.Sample(synth.NewRand(3), 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				knn.Evaluate(sub)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEarlyAbandon measures the early-abandon win in a
+// nearest-neighbour scan.
+func BenchmarkAblationEarlyAbandon(b *testing.B) {
+	train, test := benchSplit(b)
+	query := test.Instances[0].Series
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			best := 1e308
+			for _, in := range train.Instances {
+				if d := ts.SquaredEuclidean(query, in.Series); d < best {
+					best = d
+				}
+			}
+		}
+	})
+	b.Run("early-abandon", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			best := 1e308
+			for _, in := range train.Instances {
+				if d, ok := ts.SquaredEuclideanEA(query, in.Series, best); ok && d < best {
+					best = d
+				}
+			}
+		}
+	})
+}
+
+// --- micro-benchmarks of the hot kernels ------------------------------------
+
+func randomSeries(n int, seed int64) ts.Series {
+	rng := synth.NewRand(seed)
+	s := make(ts.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func BenchmarkSquaredEuclidean150(b *testing.B) {
+	x := randomSeries(150, 1)
+	y := randomSeries(150, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts.SquaredEuclidean(x, y)
+	}
+}
+
+func BenchmarkDTW150Band10(b *testing.B) {
+	x := randomSeries(150, 1)
+	y := randomSeries(150, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts.DTW(x, y, 10)
+	}
+}
+
+func BenchmarkZNorm150(b *testing.B) {
+	x := randomSeries(150, 1)
+	dst := make(ts.Series, 150)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts.ZNormInto(dst, x)
+	}
+}
+
+func BenchmarkDistanceProfile100k(b *testing.B) {
+	stream := randomSeries(100_000, 3)
+	query := randomSeries(120, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ts.DistanceProfile(query, stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonitorThroughput(b *testing.B) {
+	train, _ := benchSplit(b)
+	c, err := etsc.NewTEASER(train, etsc.DefaultTEASERConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := randomSeries(20_000, 5)
+	mon := &stream.Monitor{Classifier: c, Stride: 8, Step: 8, Suppress: 75}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mon.Run(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(data) * 8))
+}

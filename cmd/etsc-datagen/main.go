@@ -1,0 +1,85 @@
+// Command etsc-datagen writes the repository's synthetic datasets to disk
+// in the UCR archive text format (label + tab-separated values, one
+// exemplar per line), so they can be inspected or fed to other tools.
+//
+// Usage:
+//
+//	etsc-datagen -out DIR [-seed N] [-per-class N] [-dataset name]
+//
+// Datasets: gunpoint, catdog, gunpointwords, ecg, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"etsc/internal/dataset"
+	"etsc/internal/synth"
+)
+
+func main() {
+	out := flag.String("out", "testdata", "output directory")
+	seed := flag.Int64("seed", 42, "generator seed")
+	perClass := flag.Int("per-class", 30, "exemplars per class")
+	which := flag.String("dataset", "all", "gunpoint | catdog | gunpointwords | ecg | all")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	gens := map[string]func() (*dataset.Dataset, error){
+		"gunpoint": func() (*dataset.Dataset, error) {
+			cfg := synth.DefaultGunPointConfig()
+			cfg.PerClassSize = *perClass
+			return synth.GunPoint(synth.NewRand(*seed), cfg)
+		},
+		"catdog": func() (*dataset.Dataset, error) {
+			return synth.WordDataset(synth.NewRand(*seed), []string{"cat", "dog"},
+				*perClass, 150, synth.DefaultWordConfig())
+		},
+		"gunpointwords": func() (*dataset.Dataset, error) {
+			return synth.WordDataset(synth.NewRand(*seed), []string{"gun", "point"},
+				*perClass, 150, synth.DefaultWordConfig())
+		},
+		"ecg": func() (*dataset.Dataset, error) {
+			e, err := synth.ECG(synth.NewRand(*seed), synth.DefaultECGConfig(), 2**perClass, 2)
+			if err != nil {
+				return nil, err
+			}
+			return e.Beats(1, 125, true)
+		},
+	}
+
+	names := []string{"gunpoint", "catdog", "gunpointwords", "ecg"}
+	if *which != "all" {
+		if _, ok := gens[*which]; !ok {
+			log.Fatalf("unknown dataset %q", *which)
+		}
+		names = []string{*which}
+	}
+
+	for _, name := range names {
+		d, err := gens[name]()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		path := filepath.Join(*out, name+".tsv")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := d.Write(f); err != nil {
+			f.Close()
+			log.Fatalf("%s: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d exemplars x %d points, classes %v\n",
+			path, d.Len(), d.SeriesLen(), d.ClassCounts())
+	}
+}

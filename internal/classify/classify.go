@@ -1,0 +1,272 @@
+// Package classify implements the classic time series classification
+// substrate: k-nearest-neighbour classifiers under Euclidean and DTW
+// distances, leave-one-out cross-validation, confusion matrices, and the
+// per-prefix-length evaluation (with correct re-z-normalization of
+// truncations) that drives the paper's Fig. 9.
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"etsc/internal/dataset"
+	"etsc/internal/ts"
+)
+
+// Distance measures dissimilarity between equal-length series.
+type Distance interface {
+	// Dist returns the distance between a and b.
+	Dist(a, b []float64) float64
+	// Name identifies the measure in reports.
+	Name() string
+}
+
+// EuclideanDistance is plain Euclidean distance (inputs assumed comparable,
+// e.g. both z-normalized — or not, which is the paper's Table 1 trap).
+type EuclideanDistance struct{}
+
+// Dist implements Distance.
+func (EuclideanDistance) Dist(a, b []float64) float64 { return ts.Euclidean(a, b) }
+
+// Name implements Distance.
+func (EuclideanDistance) Name() string { return "ED" }
+
+// ZNormEuclideanDistance z-normalizes both inputs before measuring; this is
+// the distance a *correct* (whole-object) pipeline uses.
+type ZNormEuclideanDistance struct{}
+
+// Dist implements Distance.
+func (ZNormEuclideanDistance) Dist(a, b []float64) float64 { return ts.ZNormEuclidean(a, b) }
+
+// Name implements Distance.
+func (ZNormEuclideanDistance) Name() string { return "zED" }
+
+// DTWDistance is Dynamic Time Warping with a Sakoe-Chiba band.
+type DTWDistance struct {
+	Radius int // band radius in points; < 0 = unconstrained
+}
+
+// Dist implements Distance.
+func (d DTWDistance) Dist(a, b []float64) float64 { return ts.DTW(a, b, d.Radius) }
+
+// Name implements Distance.
+func (d DTWDistance) Name() string { return fmt.Sprintf("DTW(r=%d)", d.Radius) }
+
+// Neighbor is one scored training instance.
+type Neighbor struct {
+	Index int
+	Label int
+	Dist  float64
+}
+
+// KNN is a k-nearest-neighbour classifier over a training dataset.
+type KNN struct {
+	K        int
+	Distance Distance
+	train    *dataset.Dataset
+}
+
+// NewKNN builds a KNN classifier. k must be >= 1.
+func NewKNN(train *dataset.Dataset, k int, d Distance) (*KNN, error) {
+	if train == nil || train.Len() == 0 {
+		return nil, errors.New("classify: empty training set")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("classify: k must be >= 1, got %d", k)
+	}
+	if d == nil {
+		d = EuclideanDistance{}
+	}
+	return &KNN{K: k, Distance: d, train: train}, nil
+}
+
+// Train returns the underlying training dataset.
+func (c *KNN) Train() *dataset.Dataset { return c.train }
+
+// Neighbors returns the k nearest training instances to query, closest
+// first. skip, if >= 0, excludes that training index (for leave-one-out).
+func (c *KNN) Neighbors(query []float64, skip int) []Neighbor {
+	ns := make([]Neighbor, 0, c.train.Len())
+	for i, in := range c.train.Instances {
+		if i == skip {
+			continue
+		}
+		ns = append(ns, Neighbor{Index: i, Label: in.Label, Dist: c.Distance.Dist(query, in.Series)})
+	}
+	sort.Slice(ns, func(a, b int) bool { return ns[a].Dist < ns[b].Dist })
+	if len(ns) > c.K {
+		ns = ns[:c.K]
+	}
+	return ns
+}
+
+// Classify returns the majority label among the k nearest neighbours
+// (ties broken toward the nearer neighbour's label).
+func (c *KNN) Classify(query []float64) int {
+	label, _ := c.ClassifyConfidence(query)
+	return label
+}
+
+// ClassifyConfidence returns the predicted label and the fraction of the k
+// neighbours voting for it.
+func (c *KNN) ClassifyConfidence(query []float64) (int, float64) {
+	ns := c.Neighbors(query, -1)
+	if len(ns) == 0 {
+		return 0, 0
+	}
+	votes := map[int]int{}
+	for _, n := range ns {
+		votes[n.Label]++
+	}
+	best, bestVotes := ns[0].Label, 0
+	for _, n := range ns { // iterate in nearness order for tie-breaking
+		if v := votes[n.Label]; v > bestVotes {
+			best, bestVotes = n.Label, v
+		}
+	}
+	return best, float64(bestVotes) / float64(len(ns))
+}
+
+// Posterior estimates class probabilities for query with a softmin over
+// the nearest per-class distances: P(c) ∝ exp(-d_c / T) where d_c is the
+// distance to the nearest neighbour of class c and T is the mean of the
+// d_c. This is the "predicts the probability of being in each class" model
+// of the paper's Fig. 3 (right).
+func (c *KNN) Posterior(query []float64) map[int]float64 {
+	nearest := map[int]float64{}
+	for _, in := range c.train.Instances {
+		d := c.Distance.Dist(query, in.Series)
+		if cur, ok := nearest[in.Label]; !ok || d < cur {
+			nearest[in.Label] = d
+		}
+	}
+	if len(nearest) == 0 {
+		return nil
+	}
+	mean := 0.0
+	for _, d := range nearest {
+		mean += d
+	}
+	mean /= float64(len(nearest))
+	if mean < 1e-12 {
+		mean = 1e-12
+	}
+	sum := 0.0
+	post := make(map[int]float64, len(nearest))
+	for label, d := range nearest {
+		p := math.Exp(-d / mean)
+		post[label] = p
+		sum += p
+	}
+	for label := range post {
+		post[label] /= sum
+	}
+	return post
+}
+
+// Evaluation summarizes classifier performance on a test set.
+type Evaluation struct {
+	Correct, Total int
+	Confusion      ConfusionMatrix
+}
+
+// Accuracy returns Correct/Total (0 when empty).
+func (e Evaluation) Accuracy() float64 {
+	if e.Total == 0 {
+		return 0
+	}
+	return float64(e.Correct) / float64(e.Total)
+}
+
+// ErrorRate returns 1 - Accuracy.
+func (e Evaluation) ErrorRate() float64 { return 1 - e.Accuracy() }
+
+// Evaluate classifies every instance of test and tallies the results.
+func (c *KNN) Evaluate(test *dataset.Dataset) Evaluation {
+	ev := Evaluation{Confusion: NewConfusionMatrix()}
+	for _, in := range test.Instances {
+		pred := c.Classify(in.Series)
+		ev.Total++
+		if pred == in.Label {
+			ev.Correct++
+		}
+		ev.Confusion.Add(in.Label, pred)
+	}
+	return ev
+}
+
+// LeaveOneOut runs leave-one-out cross-validation of a 1NN classifier with
+// the given distance over d, returning the evaluation.
+func LeaveOneOut(d *dataset.Dataset, dist Distance) Evaluation {
+	c := &KNN{K: 1, Distance: dist, train: d}
+	ev := Evaluation{Confusion: NewConfusionMatrix()}
+	for i, in := range d.Instances {
+		ns := c.Neighbors(in.Series, i)
+		if len(ns) == 0 {
+			continue
+		}
+		pred := ns[0].Label
+		ev.Total++
+		if pred == in.Label {
+			ev.Correct++
+		}
+		ev.Confusion.Add(in.Label, pred)
+	}
+	return ev
+}
+
+// PrefixSweepPoint is one point of the Fig. 9 curve.
+type PrefixSweepPoint struct {
+	PrefixLen int
+	ErrorRate float64
+}
+
+// PrefixSweep evaluates 1NN accuracy using only the first n points of every
+// train and test exemplar, for n = from..to step by. When renormalize is
+// true, each truncation is re-z-normalized — the correct handling the paper
+// applies ("we are correctly z-normalizing the truncated data, see Table 1").
+func PrefixSweep(train, test *dataset.Dataset, from, to, by int, renormalize bool, dist Distance) ([]PrefixSweepPoint, error) {
+	if from < 1 || to > train.SeriesLen() || from > to || by < 1 {
+		return nil, fmt.Errorf("classify: PrefixSweep range %d..%d step %d invalid for length %d",
+			from, to, by, train.SeriesLen())
+	}
+	if train.SeriesLen() != test.SeriesLen() {
+		return nil, fmt.Errorf("classify: train length %d != test length %d", train.SeriesLen(), test.SeriesLen())
+	}
+	var out []PrefixSweepPoint
+	for n := from; n <= to; n += by {
+		trn, err := train.Truncate(n, renormalize)
+		if err != nil {
+			return nil, err
+		}
+		tst, err := test.Truncate(n, renormalize)
+		if err != nil {
+			return nil, err
+		}
+		knn, err := NewKNN(trn, 1, dist)
+		if err != nil {
+			return nil, err
+		}
+		ev := knn.Evaluate(tst)
+		out = append(out, PrefixSweepPoint{PrefixLen: n, ErrorRate: ev.ErrorRate()})
+	}
+	return out, nil
+}
+
+// BestPrefix returns the sweep point with the lowest error (earliest wins
+// ties) and the point at full length.
+func BestPrefix(points []PrefixSweepPoint) (best, full PrefixSweepPoint, err error) {
+	if len(points) == 0 {
+		return best, full, errors.New("classify: empty sweep")
+	}
+	best = points[0]
+	for _, p := range points[1:] {
+		if p.ErrorRate < best.ErrorRate {
+			best = p
+		}
+	}
+	full = points[len(points)-1]
+	return best, full, nil
+}

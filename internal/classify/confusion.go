@@ -1,0 +1,100 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ConfusionMatrix tallies (actual, predicted) label pairs.
+type ConfusionMatrix struct {
+	counts map[[2]int]int
+	labels map[int]bool
+}
+
+// NewConfusionMatrix returns an empty matrix.
+func NewConfusionMatrix() ConfusionMatrix {
+	return ConfusionMatrix{counts: map[[2]int]int{}, labels: map[int]bool{}}
+}
+
+// Add records one (actual, predicted) observation.
+func (m ConfusionMatrix) Add(actual, predicted int) {
+	m.counts[[2]int{actual, predicted}]++
+	m.labels[actual] = true
+	m.labels[predicted] = true
+}
+
+// Count returns the tally for (actual, predicted).
+func (m ConfusionMatrix) Count(actual, predicted int) int {
+	return m.counts[[2]int{actual, predicted}]
+}
+
+// Labels returns the sorted label set seen so far.
+func (m ConfusionMatrix) Labels() []int {
+	out := make([]int, 0, len(m.labels))
+	for l := range m.labels {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Total returns the number of recorded observations.
+func (m ConfusionMatrix) Total() int {
+	t := 0
+	for _, c := range m.counts {
+		t += c
+	}
+	return t
+}
+
+// Precision returns TP/(TP+FP) for the given label (1 when no positives
+// were predicted).
+func (m ConfusionMatrix) Precision(label int) float64 {
+	tp := m.Count(label, label)
+	fp := 0
+	for _, l := range m.Labels() {
+		if l != label {
+			fp += m.Count(l, label)
+		}
+	}
+	if tp+fp == 0 {
+		return 1
+	}
+	return float64(tp) / float64(tp+fp)
+}
+
+// Recall returns TP/(TP+FN) for the given label (1 when the label never
+// occurred).
+func (m ConfusionMatrix) Recall(label int) float64 {
+	tp := m.Count(label, label)
+	fn := 0
+	for _, l := range m.Labels() {
+		if l != label {
+			fn += m.Count(label, l)
+		}
+	}
+	if tp+fn == 0 {
+		return 1
+	}
+	return float64(tp) / float64(tp+fn)
+}
+
+// String renders the matrix as an aligned table.
+func (m ConfusionMatrix) String() string {
+	labels := m.Labels()
+	var b strings.Builder
+	b.WriteString("actual\\pred")
+	for _, l := range labels {
+		fmt.Fprintf(&b, "\t%6d", l)
+	}
+	b.WriteByte('\n')
+	for _, a := range labels {
+		fmt.Fprintf(&b, "%11d", a)
+		for _, p := range labels {
+			fmt.Fprintf(&b, "\t%6d", m.Count(a, p))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfusionMatrix(t *testing.T) {
+	m := NewConfusionMatrix()
+	m.Add(1, 1)
+	m.Add(1, 1)
+	m.Add(1, 2)
+	m.Add(2, 2)
+	m.Add(2, 2)
+	m.Add(2, 2)
+
+	if m.Total() != 6 {
+		t.Errorf("total %d", m.Total())
+	}
+	if m.Count(1, 1) != 2 || m.Count(1, 2) != 1 || m.Count(2, 1) != 0 {
+		t.Error("counts wrong")
+	}
+	labels := m.Labels()
+	if len(labels) != 2 || labels[0] != 1 {
+		t.Errorf("labels %v", labels)
+	}
+	// Precision(2) = 3/(3+1) = 0.75; Recall(1) = 2/3.
+	if got := m.Precision(2); got != 0.75 {
+		t.Errorf("precision(2) = %v", got)
+	}
+	if got := m.Recall(1); got != 2.0/3.0 {
+		t.Errorf("recall(1) = %v", got)
+	}
+}
+
+func TestConfusionMatrixDegenerate(t *testing.T) {
+	m := NewConfusionMatrix()
+	m.Add(1, 1)
+	// Label 2 never predicted nor present: both conventions return 1.
+	if m.Precision(2) != 1 || m.Recall(2) != 1 {
+		t.Error("degenerate precision/recall should be 1")
+	}
+}
+
+func TestConfusionMatrixString(t *testing.T) {
+	m := NewConfusionMatrix()
+	m.Add(1, 2)
+	s := m.String()
+	if !strings.Contains(s, "actual\\pred") {
+		t.Errorf("header missing in %q", s)
+	}
+	if !strings.Contains(s, "1") || !strings.Contains(s, "2") {
+		t.Errorf("labels missing in %q", s)
+	}
+}

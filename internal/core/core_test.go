@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCostModelPaperExample(t *testing.T) {
+	// Appendix B: $1000 damage, $200 intervention, full efficacy.
+	c := CostModel{EventDamage: 1000, InterventionCost: 200, InterventionEfficacy: 1}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TruePositiveValue(); got != 800 {
+		t.Errorf("TP value %v, want 800", got)
+	}
+	if got := c.BreakEvenPrecision(); got != 0.2 {
+		t.Errorf("break-even precision %v, want 0.2 (one TP per five alarms)", got)
+	}
+	if got := c.MaxFalseAlarmsPerTrue(); got != 4 {
+		t.Errorf("max FP per TP %v, want 4", got)
+	}
+	// At break-even: 1 TP + 4 FP = 800 - 800 = 0.
+	if got := c.Net(1, 4, 0); got != 0 {
+		t.Errorf("break-even net %v, want 0", got)
+	}
+	// Misses cost the prevented damage.
+	if got := c.Net(0, 0, 2); got != -2000 {
+		t.Errorf("miss-only net %v, want -2000", got)
+	}
+}
+
+func TestCostModelDegenerate(t *testing.T) {
+	// Intervention costlier than the damage it prevents: never pays.
+	c := CostModel{EventDamage: 100, InterventionCost: 200, InterventionEfficacy: 1}
+	if got := c.BreakEvenPrecision(); got != 1 {
+		t.Errorf("never-pays precision %v, want 1", got)
+	}
+	if got := c.MaxFalseAlarmsPerTrue(); got != 0 {
+		t.Errorf("max ratio %v, want 0", got)
+	}
+	// Free interventions: any precision works.
+	free := CostModel{EventDamage: 100, InterventionCost: 0, InterventionEfficacy: 1}
+	if got := free.BreakEvenPrecision(); got != 0 {
+		t.Errorf("free precision %v, want 0", got)
+	}
+	if !math.IsInf(free.MaxFalseAlarmsPerTrue(), 1) {
+		t.Error("free ratio should be +Inf")
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if err := (CostModel{EventDamage: -1}).Validate(); err == nil {
+		t.Error("negative damage should error")
+	}
+	if err := (CostModel{InterventionEfficacy: 2}).Validate(); err == nil {
+		t.Error("efficacy > 1 should error")
+	}
+}
+
+func TestPriorModel(t *testing.T) {
+	p := PriorModel{EventsPerMillion: 10, WindowsPerMillion: 100_000, PerWindowFPRate: 0.01}
+	// 100000 * 0.01 / 10 = 100 FP per TP.
+	if got := p.ExpectedFPPerTP(); got != 100 {
+		t.Errorf("expected FP per TP %v, want 100", got)
+	}
+	c := CostModel{EventDamage: 1000, InterventionCost: 200, InterventionEfficacy: 1}
+	// Required rate: 4 * 10 / 100000 = 4e-4.
+	if got := p.RequiredPerWindowFPRate(c); math.Abs(got-4e-4) > 1e-12 {
+		t.Errorf("required FP rate %v, want 4e-4", got)
+	}
+}
+
+func TestPriorModelDegenerate(t *testing.T) {
+	p := PriorModel{EventsPerMillion: 0, WindowsPerMillion: 1000, PerWindowFPRate: 0.1}
+	if !math.IsInf(p.ExpectedFPPerTP(), 1) {
+		t.Error("no events but false alarms: ratio +Inf")
+	}
+	p = PriorModel{EventsPerMillion: 0, WindowsPerMillion: 0, PerWindowFPRate: 0}
+	if p.ExpectedFPPerTP() != 0 {
+		t.Error("silent monitor: ratio 0")
+	}
+}
+
+func TestMeasuredDeploymentPrecision(t *testing.T) {
+	if got := (MeasuredDeployment{TP: 3, FP: 1}).Precision(); got != 0.75 {
+		t.Errorf("precision %v", got)
+	}
+	if got := (MeasuredDeployment{}).Precision(); got != 1 {
+		t.Errorf("no-alarm precision %v, want 1", got)
+	}
+}

@@ -1,0 +1,146 @@
+// Package core codes the paper's actual contribution: the criteria any
+// meaningful formulation of early time series classification must satisfy
+// (§6, Appendix B). It provides quantitative analyses for each item on the
+// paper's checklist:
+//
+//  1. CostModel — the cost of a false positive vs the value of a true
+//     positive, and the break-even precision a deployed detector must beat
+//     (Appendix B's $1000 distillation-column example).
+//  2. ConfusabilityAnalysis — the probability that the domain contains
+//     prefixes, inclusions and homophones of the actionable class
+//     (§3.1-3.3), both symbolically over a pattern lexicon and empirically
+//     over background signals (Fig. 5).
+//  3. PriorModel — the prior probability of seeing the actionable class at
+//     all, and the implied false-alarm load.
+//  4. NormalizationSensitivity — whether the model's accuracy survives the
+//     offsets a streaming deployment cannot remove (§4, Table 1).
+//
+// Report combines the four into the go/no-go verdict the paper recommends
+// the community require of any proposed ETSC application.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CostModel captures the economics of acting on an early alarm
+// (Appendix B). All values are in the same currency unit.
+type CostModel struct {
+	// EventDamage is the loss incurred if a true event goes unhandled
+	// (the paper's example: $1000 to clean out the distillation column).
+	EventDamage float64
+	// InterventionCost is the cost of acting on an alarm, justified or
+	// not (the paper's example: $200 to have an engineer throttle a valve).
+	InterventionCost float64
+	// InterventionEfficacy is the fraction of the damage a timely
+	// intervention prevents (1 = fully prevents).
+	InterventionEfficacy float64
+}
+
+// Validate checks the model's coherence.
+func (c CostModel) Validate() error {
+	if c.EventDamage < 0 || c.InterventionCost < 0 {
+		return errors.New("core: costs must be non-negative")
+	}
+	if c.InterventionEfficacy < 0 || c.InterventionEfficacy > 1 {
+		return fmt.Errorf("core: efficacy %v out of [0,1]", c.InterventionEfficacy)
+	}
+	return nil
+}
+
+// TruePositiveValue is the net value of one correct, acted-on alarm:
+// prevented damage minus the intervention's own cost.
+func (c CostModel) TruePositiveValue() float64 {
+	return c.EventDamage*c.InterventionEfficacy - c.InterventionCost
+}
+
+// FalsePositiveCost is the cost of one needless intervention.
+func (c CostModel) FalsePositiveCost() float64 { return c.InterventionCost }
+
+// Net returns the net value of a deployment that produced the given
+// true/false positive and false negative counts. False negatives incur the
+// full event damage.
+func (c CostModel) Net(tp, fp, fn int) float64 {
+	return float64(tp)*c.TruePositiveValue() -
+		float64(fp)*c.FalsePositiveCost() -
+		float64(fn)*c.EventDamage*c.InterventionEfficacy
+}
+
+// BreakEvenPrecision is the minimum precision TP/(TP+FP) at which alarms
+// pay for themselves (ignoring misses, which are incurred either way by a
+// do-nothing baseline). For the paper's example ($1000 damage, $200
+// intervention, full efficacy) this is 0.2 — "at least one true positive
+// for every five" alarms. Returns 1 when a true positive has no net value
+// (the detector can never pay off) and 0 when interventions are free.
+func (c CostModel) BreakEvenPrecision() float64 {
+	tpv := c.TruePositiveValue()
+	if tpv <= 0 {
+		return 1
+	}
+	if c.InterventionCost == 0 {
+		return 0
+	}
+	// precision p satisfies p·tpv = (1-p)·fpc  ⇒  p = fpc/(tpv+fpc).
+	return c.FalsePositiveCost() / (tpv + c.FalsePositiveCost())
+}
+
+// MaxFalseAlarmsPerTrue is the break-even FP:TP ratio (+Inf if alarms are
+// free, 0 if a true positive has no value).
+func (c CostModel) MaxFalseAlarmsPerTrue() float64 {
+	tpv := c.TruePositiveValue()
+	if tpv <= 0 {
+		return 0
+	}
+	if c.InterventionCost == 0 {
+		return math.Inf(1)
+	}
+	return tpv / c.FalsePositiveCost()
+}
+
+// PriorModel captures how rare the actionable class is in the deployed
+// stream (checklist item 3).
+type PriorModel struct {
+	// EventsPerMillion is the expected number of true events per million
+	// stream points.
+	EventsPerMillion float64
+	// WindowsPerMillion is the number of candidate decision windows the
+	// monitor evaluates per million points (a function of its stride).
+	WindowsPerMillion float64
+	// PerWindowFPRate is the monitor's false-alarm probability on a
+	// non-event window.
+	PerWindowFPRate float64
+}
+
+// ExpectedFPPerTP returns the expected false positives per true positive
+// assuming perfect recall: (windows · fpRate) / events. This is the
+// quantity the paper's Appendix B measures as "thousands of false positives
+// for every true positive".
+func (p PriorModel) ExpectedFPPerTP() float64 {
+	if p.EventsPerMillion <= 0 {
+		if p.WindowsPerMillion*p.PerWindowFPRate > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return p.WindowsPerMillion * p.PerWindowFPRate / p.EventsPerMillion
+}
+
+// RequiredPerWindowFPRate inverts the break-even condition: the false-alarm
+// probability per evaluated window the monitor must stay under for the
+// deployment to break even under cost model c.
+func (p PriorModel) RequiredPerWindowFPRate(c CostModel) float64 {
+	maxRatio := c.MaxFalseAlarmsPerTrue()
+	if math.IsInf(maxRatio, 1) {
+		return 1
+	}
+	if p.WindowsPerMillion <= 0 {
+		return 1
+	}
+	r := maxRatio * p.EventsPerMillion / p.WindowsPerMillion
+	if r > 1 {
+		return 1
+	}
+	return r
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LeadTimeModel quantifies §2.2's "disconnect to the real world": earliness
+// is only worth something if the seconds gained enable a better outcome.
+// The paper's ECG example: classifying a 0.5-second heartbeat after 64 % of
+// its points buys 0.18 seconds of warning — "an inconsequent amount,
+// especially for a warning that comes with a 17 % chance of being a false
+// positive".
+type LeadTimeModel struct {
+	// SecondsPerPoint converts series points to wall-clock time.
+	SecondsPerPoint float64
+	// ValuePerSecond is the value of one second of additional warning
+	// (same currency unit as CostModel).
+	ValuePerSecond float64
+	// MinUsefulSeconds is the smallest lead time that enables any
+	// intervention at all (e.g. a human cannot react below ~1 s; paging a
+	// doctor is minutes). Lead times below it are worth exactly zero.
+	MinUsefulSeconds float64
+}
+
+// Validate checks the model.
+func (m LeadTimeModel) Validate() error {
+	if m.SecondsPerPoint <= 0 {
+		return errors.New("core: SecondsPerPoint must be positive")
+	}
+	if m.ValuePerSecond < 0 || m.MinUsefulSeconds < 0 {
+		return errors.New("core: negative lead-time value parameters")
+	}
+	return nil
+}
+
+// LeadSeconds converts an earliness fraction over a series of fullLen
+// points into wall-clock seconds gained versus waiting for the full
+// pattern.
+func (m LeadTimeModel) LeadSeconds(earliness float64, fullLen int) float64 {
+	if earliness < 0 {
+		earliness = 0
+	}
+	if earliness > 1 {
+		earliness = 1
+	}
+	return (1 - earliness) * float64(fullLen) * m.SecondsPerPoint
+}
+
+// LeadValue is the value of the warning time gained by one early decision;
+// zero when the gain is below the actionability floor.
+func (m LeadTimeModel) LeadValue(earliness float64, fullLen int) float64 {
+	lead := m.LeadSeconds(earliness, fullLen)
+	if lead < m.MinUsefulSeconds {
+		return 0
+	}
+	return lead * m.ValuePerSecond
+}
+
+// LeadTimeAnalysis is the §2.2 sanity check for one proposed deployment.
+type LeadTimeAnalysis struct {
+	Model     LeadTimeModel
+	FullLen   int
+	Earliness float64 // the model's mean earliness on the benchmark
+	FPRate    float64 // fraction of positives that are false (0..1)
+	Cost      CostModel
+}
+
+// Worthwhile reports whether the expected value of the earliness —
+// discounted by the false-positive burden — is positive, with a
+// human-readable explanation.
+func (a LeadTimeAnalysis) Worthwhile() (bool, string) {
+	lead := a.Model.LeadSeconds(a.Earliness, a.FullLen)
+	value := a.Model.LeadValue(a.Earliness, a.FullLen)
+	if value == 0 {
+		return false, fmt.Sprintf(
+			"lead time %.3fs is below the %.3fs actionability floor — earlier classification buys nothing",
+			lead, a.Model.MinUsefulSeconds)
+	}
+	// Expected value per positive: (1-fp)·lead value − fp·intervention cost.
+	ev := (1-a.FPRate)*value - a.FPRate*a.Cost.FalsePositiveCost()
+	if ev <= 0 {
+		return false, fmt.Sprintf(
+			"lead time %.3fs is worth %.2f, but at a %.0f%% false positive rate the expected value per alarm is %.2f",
+			lead, value, a.FPRate*100, ev)
+	}
+	return true, fmt.Sprintf(
+		"lead time %.3fs is worth %.2f; expected value per alarm %.2f at %.0f%% false positives",
+		lead, value, ev, a.FPRate*100)
+}

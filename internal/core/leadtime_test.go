@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLeadTimeModelPaperECGExample(t *testing.T) {
+	// §2.2: beats are ~0.5 s; classifying after 64% of the points buys
+	// 0.18 s — below any plausible clinical actionability floor.
+	m := LeadTimeModel{
+		SecondsPerPoint:  0.5 / 125, // 125-point beat spanning 0.5 s
+		ValuePerSecond:   100,
+		MinUsefulSeconds: 1.0, // paging a doctor takes far longer anyway
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lead := m.LeadSeconds(0.64, 125)
+	if math.Abs(lead-0.18) > 0.01 {
+		t.Errorf("lead %v s, want ~0.18 (the paper's number)", lead)
+	}
+	if v := m.LeadValue(0.64, 125); v != 0 {
+		t.Errorf("value %v, want 0 — below the actionability floor", v)
+	}
+
+	a := LeadTimeAnalysis{
+		Model:     m,
+		FullLen:   125,
+		Earliness: 0.64,
+		FPRate:    0.17, // "a warning that comes with a 17% chance of being a false positive"
+		Cost:      CostModel{EventDamage: 1000, InterventionCost: 200, InterventionEfficacy: 1},
+	}
+	ok, why := a.Worthwhile()
+	if ok {
+		t.Errorf("the paper's ECG scenario must not be worthwhile: %s", why)
+	}
+	if !strings.Contains(why, "actionability floor") {
+		t.Errorf("explanation should cite the floor: %s", why)
+	}
+}
+
+func TestLeadTimeWorthwhileScenario(t *testing.T) {
+	// A slow industrial process: points are minutes, warnings valuable.
+	m := LeadTimeModel{SecondsPerPoint: 60, ValuePerSecond: 0.5, MinUsefulSeconds: 30}
+	a := LeadTimeAnalysis{
+		Model:     m,
+		FullLen:   100,
+		Earliness: 0.4, // decide after 40% — an hour of warning
+		FPRate:    0.05,
+		Cost:      CostModel{EventDamage: 1000, InterventionCost: 200, InterventionEfficacy: 1},
+	}
+	ok, why := a.Worthwhile()
+	if !ok {
+		t.Errorf("slow-process scenario should be worthwhile: %s", why)
+	}
+}
+
+func TestLeadTimeFPBurden(t *testing.T) {
+	// Same slow process, but alarms are nearly always false.
+	m := LeadTimeModel{SecondsPerPoint: 60, ValuePerSecond: 0.5, MinUsefulSeconds: 30}
+	a := LeadTimeAnalysis{
+		Model:     m,
+		FullLen:   100,
+		Earliness: 0.4,
+		FPRate:    0.99,
+		Cost:      CostModel{EventDamage: 1000, InterventionCost: 200, InterventionEfficacy: 1},
+	}
+	if ok, why := a.Worthwhile(); ok {
+		t.Errorf("99%% false positives should sink it: %s", why)
+	}
+}
+
+func TestLeadTimeModelValidate(t *testing.T) {
+	if err := (LeadTimeModel{SecondsPerPoint: 0}).Validate(); err == nil {
+		t.Error("zero SecondsPerPoint should error")
+	}
+	if err := (LeadTimeModel{SecondsPerPoint: 1, ValuePerSecond: -1}).Validate(); err == nil {
+		t.Error("negative value should error")
+	}
+}
+
+func TestLeadSecondsClamps(t *testing.T) {
+	m := LeadTimeModel{SecondsPerPoint: 1, ValuePerSecond: 1}
+	if got := m.LeadSeconds(-0.5, 10); got != 10 {
+		t.Errorf("clamped earliness lead %v, want 10", got)
+	}
+	if got := m.LeadSeconds(1.5, 10); got != 0 {
+		t.Errorf("clamped earliness lead %v, want 0", got)
+	}
+}

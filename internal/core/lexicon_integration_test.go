@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"etsc/internal/stats"
+	"etsc/internal/synth"
+)
+
+// synthLexiconEntries converts the word synthesizer's phoneme lexicon into
+// analysis entries (ranks arbitrary but distinct).
+func synthLexiconEntries() []LexiconEntry {
+	var out []LexiconEntry
+	rank := 1
+	for w, ph := range synth.Lexicon {
+		tokens := make([]string, len(ph))
+		for i, p := range ph {
+			tokens[i] = string(p)
+		}
+		out = append(out, LexiconEntry{Name: w, Tokens: tokens, Rank: rank})
+		rank++
+	}
+	return out
+}
+
+// TestSynthLexiconConfusability ties the symbolic analysis to the actual
+// generator vocabulary: the §3.4 gun/point claims must fall out of the
+// lexicon automatically.
+func TestSynthLexiconConfusability(t *testing.T) {
+	entries := synthLexiconEntries()
+	byName := map[string]LexiconEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	z, err := stats.NewZipf(1, len(entries)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gun, err := AnalyzeLexiconConfusability(byName["gun"], entries, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := map[string]PatternRelation{}
+	for _, c := range gun.Confusions {
+		rels[c.Entry.Name] = c.Relation
+	}
+	if rels["gunn"] != HomophoneOf {
+		t.Errorf("gunn should be a homophone of gun, got %v", rels["gunn"])
+	}
+	if rels["gunk"] != PrefixOf {
+		t.Errorf("gunk should extend gun as a prefix, got %v", rels["gunk"])
+	}
+	if rels["begun"] != Includes {
+		t.Errorf("begun should include gun, got %v", rels["begun"])
+	}
+	if rels["burgundy"] != Includes {
+		t.Errorf("burgundy should include gun, got %v", rels["burgundy"])
+	}
+
+	point, err := AnalyzeLexiconConfusability(byName["point"], entries, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels = map[string]PatternRelation{}
+	for _, c := range point.Confusions {
+		rels[c.Entry.Name] = c.Relation
+	}
+	if rels["pointe"] != HomophoneOf {
+		t.Errorf("pointe should be a homophone of point, got %v", rels["pointe"])
+	}
+	if rels["pointless"] != PrefixOf {
+		t.Errorf("pointless should extend point, got %v", rels["pointless"])
+	}
+	for _, w := range []string{"appointment", "ballpoints", "disappointing"} {
+		if rels[w] != Includes {
+			t.Errorf("%s should include point, got %v", w, rels[w])
+		}
+	}
+	if point.ExpectedFalseTriggersPerTarget <= 0 {
+		t.Error("point should have positive expected false triggers")
+	}
+}
+
+// TestSynthLexiconAgreesWithSynthAnalyzer: the two independent
+// implementations of the relation scan (core's and synth's) must agree on
+// the shared vocabulary.
+func TestSynthLexiconAgreesWithSynthAnalyzer(t *testing.T) {
+	entries := synthLexiconEntries()
+	byName := map[string]LexiconEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	for _, target := range []string{"cat", "dog", "gun", "point", "light", "flower"} {
+		sp, err := synth.AnalyzeLexicon(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := AnalyzeLexiconConfusability(byName[target], entries, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]PatternRelation{}
+		for _, c := range rep.Confusions {
+			got[c.Entry.Name] = c.Relation
+		}
+		for _, w := range sp.Prefixes {
+			if got[w] != PrefixOf {
+				t.Errorf("%s/%s: synth says prefix, core says %v", target, w, got[w])
+			}
+		}
+		for _, w := range sp.Inclusions {
+			if got[w] != Includes {
+				t.Errorf("%s/%s: synth says inclusion, core says %v", target, w, got[w])
+			}
+		}
+		for _, w := range sp.Homophones {
+			if got[w] != HomophoneOf {
+				t.Errorf("%s/%s: synth says homophone, core says %v", target, w, got[w])
+			}
+		}
+	}
+}

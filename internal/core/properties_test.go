@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCostModelInvariantsProperty checks the accounting identities of the
+// cost model over random (valid) parameterizations:
+//   - Net is monotone increasing in TP and decreasing in FP and FN;
+//   - at exactly the break-even precision the net of (TP, FP) alarms is ~0;
+//   - BreakEvenPrecision and MaxFalseAlarmsPerTrue are consistent.
+func TestCostModelInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := CostModel{
+			EventDamage:          rng.Float64() * 10000,
+			InterventionCost:     rng.Float64() * 1000,
+			InterventionEfficacy: rng.Float64(),
+		}
+		if c.Validate() != nil {
+			return false
+		}
+		tp := rng.Intn(100)
+		fp := rng.Intn(1000)
+		fn := rng.Intn(100)
+		base := c.Net(tp, fp, fn)
+		if c.Net(tp+1, fp, fn) < base-1e-9 && c.TruePositiveValue() > 0 {
+			return false
+		}
+		if c.Net(tp, fp+1, fn) > base+1e-9 {
+			return false
+		}
+		if c.Net(tp, fp, fn+1) > base+1e-9 {
+			return false
+		}
+		// Break-even consistency: precision p* and ratio r* describe the
+		// same point: p* = 1/(1+r*) when both are in range.
+		p := c.BreakEvenPrecision()
+		r := c.MaxFalseAlarmsPerTrue()
+		if c.TruePositiveValue() > 0 && c.InterventionCost > 0 {
+			if math.Abs(p-1/(1+r)) > 1e-9 {
+				return false
+			}
+			// Net at the break-even mix is zero (scale to integers).
+			net := c.Net(1, 0, 0) - r*c.FalsePositiveCost()
+			if math.Abs(net) > 1e-6*(1+c.EventDamage) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPriorModelProperty: the required per-window FP rate, when fed back
+// into the expected ratio, never exceeds the break-even limit.
+func TestPriorModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := CostModel{
+			EventDamage:          100 + rng.Float64()*10000,
+			InterventionCost:     1 + rng.Float64()*99,
+			InterventionEfficacy: 0.5 + rng.Float64()*0.5,
+		}
+		p := PriorModel{
+			EventsPerMillion:  rng.Float64() * 100,
+			WindowsPerMillion: 1000 + rng.Float64()*100000,
+		}
+		req := p.RequiredPerWindowFPRate(c)
+		if req < 0 || req > 1 {
+			return false
+		}
+		p.PerWindowFPRate = req
+		limit := c.MaxFalseAlarmsPerTrue()
+		if math.IsInf(limit, 1) {
+			return true
+		}
+		// Feeding the required rate back must not exceed the limit
+		// (allowing the clamp at 1).
+		return p.ExpectedFPPerTP() <= limit*(1+1e-9) || req == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRelationOfProperty: relationOf is consistent with its definition on
+// randomly generated token sequences.
+func TestRelationOfProperty(t *testing.T) {
+	alphabet := []string{"A", "B", "C"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		target := make([]string, n)
+		for i := range target {
+			target[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		// Construct each relation explicitly and verify classification.
+		homophone := append([]string(nil), target...)
+		if relationOf(homophone, target) != HomophoneOf {
+			return false
+		}
+		prefix := append(append([]string(nil), target...), "A")
+		if relationOf(prefix, target) != PrefixOf {
+			return false
+		}
+		inclusion := append([]string{"B"}, append(append([]string(nil), target...), "C")...)
+		if got := relationOf(inclusion, target); got != Includes {
+			// A target starting with B could make "inclusion" an actual
+			// prefix extension; both are acceptable confusions but the
+			// first-token check keeps this unambiguous.
+			if target[0] == "B" {
+				return got == PrefixOf
+			}
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verdict is the go/no-go outcome of the meaningfulness checklist.
+type Verdict int
+
+// Possible verdicts.
+const (
+	// Meaningless: at least one checklist item fails outright; the paper's
+	// position is that deployment "will be condemned to being overwhelmed
+	// by false positives" (or negatives).
+	Meaningless Verdict = iota
+	// Questionable: no outright failure but at least one item could not
+	// be established affirmatively.
+	Questionable
+	// Plausible: every checklist item holds; what remains may still be
+	// "just classification" (Fig. 8's caveat), but the formulation is at
+	// least coherent.
+	Plausible
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Meaningless:
+		return "MEANINGLESS"
+	case Questionable:
+		return "QUESTIONABLE"
+	case Plausible:
+		return "PLAUSIBLE"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// ChecklistItem is one evaluated criterion.
+type ChecklistItem struct {
+	Name   string
+	Pass   bool
+	Known  bool // false when the item could not be evaluated
+	Detail string
+}
+
+// Report is the combined meaningfulness assessment the paper's §6
+// recommends any proposed ETSC application be subjected to.
+type Report struct {
+	Domain string
+	Items  []ChecklistItem
+}
+
+// Assessment inputs; any pointer may be nil (item becomes "unknown").
+type Assessment struct {
+	Domain string
+
+	// Cost economics and measured (or projected) detection counts.
+	Cost     *CostModel
+	Measured *MeasuredDeployment
+
+	// Symbolic and empirical confusability.
+	Confusability *ConfusabilityReport
+	Homophones    []HomophoneResult
+
+	// Prior rarity of the actionable class.
+	Prior *PriorModel
+
+	// Normalization sensitivity of the proposed model.
+	NormSens *NormSensitivity
+	// BrittleTolerance is the accuracy drop beyond which the model is
+	// declared normalization-brittle (default 0.10).
+	BrittleTolerance float64
+}
+
+// MeasuredDeployment is the observed performance of a monitor on a
+// realistic stream.
+type MeasuredDeployment struct {
+	TP, FP, FN int
+}
+
+// Precision of the measured deployment (1 when no alarms fired).
+func (m MeasuredDeployment) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Evaluate runs the checklist.
+func Evaluate(a Assessment) Report {
+	if a.BrittleTolerance <= 0 {
+		a.BrittleTolerance = 0.10
+	}
+	rep := Report{Domain: a.Domain}
+
+	// Item 1: cost of FP vs FN, and whether the measured deployment beats
+	// break-even.
+	item := ChecklistItem{Name: "cost: alarms pay for themselves"}
+	switch {
+	case a.Cost == nil:
+		item.Detail = "no cost model supplied"
+	case a.Measured == nil:
+		item.Known = true
+		item.Pass = a.Cost.TruePositiveValue() > 0
+		item.Detail = fmt.Sprintf("break-even precision %.3f; no deployment measured",
+			a.Cost.BreakEvenPrecision())
+	default:
+		item.Known = true
+		prec := a.Measured.Precision()
+		be := a.Cost.BreakEvenPrecision()
+		item.Pass = prec >= be && a.Cost.Net(a.Measured.TP, a.Measured.FP, a.Measured.FN) > 0
+		item.Detail = fmt.Sprintf("measured precision %.4f vs break-even %.4f (TP=%d FP=%d FN=%d, net %.0f)",
+			prec, be, a.Measured.TP, a.Measured.FP, a.Measured.FN,
+			a.Cost.Net(a.Measured.TP, a.Measured.FP, a.Measured.FN))
+	}
+	rep.Items = append(rep.Items, item)
+
+	// Item 2: prefixes, inclusions and homophones.
+	item = ChecklistItem{Name: "confusability: no prefixes/inclusions/homophones"}
+	known := false
+	pass := true
+	var details []string
+	if a.Confusability != nil {
+		known = true
+		n := len(a.Confusability.Confusions)
+		if n > 0 {
+			pass = false
+		}
+		details = append(details, fmt.Sprintf("lexicon: %d confusable patterns, %.1f expected false triggers per target",
+			n, a.Confusability.ExpectedFalseTriggersPerTarget))
+	}
+	if len(a.Homophones) > 0 {
+		known = true
+		n := 0
+		for _, h := range a.Homophones {
+			if h.HomophonesExist() {
+				n++
+				pass = false
+			}
+		}
+		details = append(details, fmt.Sprintf("signal probe: homophones found in %d/%d background sources",
+			n, len(a.Homophones)))
+	}
+	item.Known = known
+	item.Pass = known && pass
+	if len(details) > 0 {
+		item.Detail = strings.Join(details, "; ")
+	} else {
+		item.Detail = "no confusability evidence supplied"
+	}
+	rep.Items = append(rep.Items, item)
+
+	// Item 3: prior probability of the actionable class.
+	item = ChecklistItem{Name: "prior: expected FP:TP ratio within break-even"}
+	if a.Prior == nil || a.Cost == nil {
+		item.Detail = "no prior model supplied"
+	} else {
+		item.Known = true
+		expected := a.Prior.ExpectedFPPerTP()
+		limit := a.Cost.MaxFalseAlarmsPerTrue()
+		item.Pass = expected <= limit
+		item.Detail = fmt.Sprintf("expected %.1f FP per TP vs break-even limit %.1f", expected, limit)
+	}
+	rep.Items = append(rep.Items, item)
+
+	// Item 4: normalization assumptions.
+	item = ChecklistItem{Name: "normalization: accuracy survives streaming offsets"}
+	if a.NormSens == nil {
+		item.Detail = "no normalization-sensitivity measurement supplied"
+	} else {
+		item.Known = true
+		item.Pass = !a.NormSens.Brittle(a.BrittleTolerance)
+		item.Detail = fmt.Sprintf("%s: %.3f normalized vs %.3f denormalized (drop %.3f, tolerance %.2f)",
+			a.NormSens.Algorithm, a.NormSens.NormalizedAccuracy, a.NormSens.DenormalizedAccuracy,
+			a.NormSens.Drop(), a.BrittleTolerance)
+	}
+	rep.Items = append(rep.Items, item)
+
+	return rep
+}
+
+// Verdict aggregates the checklist: any known failure ⇒ Meaningless; any
+// unknown ⇒ Questionable; otherwise Plausible.
+func (r Report) Verdict() Verdict {
+	anyUnknown := false
+	for _, it := range r.Items {
+		if !it.Known {
+			anyUnknown = true
+			continue
+		}
+		if !it.Pass {
+			return Meaningless
+		}
+	}
+	if anyUnknown {
+		return Questionable
+	}
+	return Plausible
+}
+
+// String renders the report as a readable checklist.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Meaningfulness report: %s\n", r.Domain)
+	for _, it := range r.Items {
+		mark := "?"
+		if it.Known {
+			if it.Pass {
+				mark = "PASS"
+			} else {
+				mark = "FAIL"
+			}
+		}
+		fmt.Fprintf(&b, "  [%-4s] %s — %s\n", mark, it.Name, it.Detail)
+	}
+	fmt.Fprintf(&b, "  verdict: %s\n", r.Verdict())
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"etsc/internal/ts"
+)
+
+// TestWriteReadRoundTripProperty: any valid dataset survives a write/read
+// cycle up to the 1e-6 serialization precision.
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		l := 1 + rng.Intn(30)
+		instances := make([]Instance, n)
+		for i := range instances {
+			s := make(ts.Series, l)
+			for j := range s {
+				s[j] = rng.NormFloat64() * 100
+			}
+			instances[i] = Instance{Label: rng.Intn(5) - 2, Series: s}
+		}
+		d, err := New("prop", instances)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := d.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read("prop", &buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != d.Len() || got.SeriesLen() != d.SeriesLen() {
+			return false
+		}
+		for i := range got.Instances {
+			if got.Instances[i].Label != d.Instances[i].Label {
+				return false
+			}
+			for j := range got.Instances[i].Series {
+				if math.Abs(got.Instances[i].Series[j]-d.Instances[i].Series[j]) > 1e-5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDenormalizeThenZNormalizeRecovers: z-normalization undoes the
+// denormalization perturbation exactly (the repair a streaming system
+// cannot perform because it has not seen the whole exemplar).
+func TestDenormalizeThenZNormalizeRecovers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		l := 8 + rng.Intn(30)
+		instances := make([]Instance, n)
+		for i := range instances {
+			s := make(ts.Series, l)
+			for j := range s {
+				s[j] = rng.NormFloat64()
+			}
+			instances[i] = Instance{Label: 1, Series: ts.ZNorm(s)}
+		}
+		d, err := New("rec", instances)
+		if err != nil {
+			return false
+		}
+		dn := d.Denormalize(rng, 2.0)
+		rz := dn.ZNormalize()
+		for i := range rz.Instances {
+			for j := range rz.Instances[i].Series {
+				if math.Abs(rz.Instances[i].Series[j]-d.Instances[i].Series[j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+package etsc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"etsc/internal/dataset"
+)
+
+// ECDIRE implements the "Early Classification framework for time series
+// based on class DIscriminativeness and REliability" of Mori et al. (DMKD
+// 2017) — reference [7] of the paper — at the architectural level. For
+// each class it learns:
+//
+//   - a safe timestamp: the earliest snapshot at which the class's
+//     leave-one-out recall reaches AccFraction of its full-length recall
+//     (before that time the class may not be predicted at all), and
+//   - a reliability threshold: the minimum posterior margin observed among
+//     correct training predictions at the safe timestamp.
+//
+// A prediction is emitted when the MAP class's safe timestamp has passed
+// and the current margin clears its reliability threshold.
+//
+// Like the other published methods it measures raw prefix values against
+// z-normalized training data (the §4 flaw).
+type ECDIRE struct {
+	AccFraction float64
+	Snapshots   int
+
+	train   *dataset.Dataset
+	lengths []int
+	safeIdx map[int]int     // class -> snapshot index of the safe timestamp
+	relThr  map[int]float64 // class -> margin threshold
+	full    int
+	sharp   float64
+}
+
+// ECDIREConfig controls training.
+type ECDIREConfig struct {
+	AccFraction float64 // fraction of full-length recall to require (default 0.9)
+	Snapshots   int     // snapshot count (default 20)
+	Sharpness   float64 // posterior sharpness (default 3)
+}
+
+// DefaultECDIREConfig matches the published setting of "reach (close to)
+// the full-length accuracy before speaking".
+func DefaultECDIREConfig() ECDIREConfig {
+	return ECDIREConfig{AccFraction: 0.9, Snapshots: 20, Sharpness: 3}
+}
+
+// NewECDIRE trains the model.
+func NewECDIRE(train *dataset.Dataset, cfg ECDIREConfig) (*ECDIRE, error) {
+	if train == nil || train.Len() < 2 {
+		return nil, errors.New("etsc: ECDIRE needs at least 2 training instances")
+	}
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("etsc: ECDIRE: %w", err)
+	}
+	if cfg.AccFraction <= 0 || cfg.AccFraction > 1 {
+		return nil, fmt.Errorf("etsc: ECDIRE AccFraction must be in (0,1], got %v", cfg.AccFraction)
+	}
+	if cfg.Snapshots < 2 {
+		cfg.Snapshots = 2
+	}
+	if cfg.Sharpness <= 0 {
+		cfg.Sharpness = 3
+	}
+	L := train.SeriesLen()
+	e := &ECDIRE{
+		AccFraction: cfg.AccFraction,
+		Snapshots:   cfg.Snapshots,
+		train:       train,
+		safeIdx:     map[int]int{},
+		relThr:      map[int]float64{},
+		full:        L,
+		sharp:       cfg.Sharpness,
+	}
+	for k := 1; k <= cfg.Snapshots; k++ {
+		l := k * L / cfg.Snapshots
+		if l < 3 {
+			continue
+		}
+		if len(e.lengths) > 0 && e.lengths[len(e.lengths)-1] == l {
+			continue
+		}
+		e.lengths = append(e.lengths, l)
+	}
+
+	// Per-class LOO recall at every snapshot, plus the margins of correct
+	// predictions (for the reliability thresholds).
+	labels := train.Labels()
+	classTotal := train.ClassCounts()
+	recall := make([]map[int]float64, len(e.lengths))
+	margins := make([]map[int][]float64, len(e.lengths))
+	for k, l := range e.lengths {
+		correct := map[int]int{}
+		margins[k] = map[int][]float64{}
+		for i, in := range train.Instances {
+			post := e.looPosterior(in.Series[:l], i)
+			label, margin := topAndMargin(post)
+			if label == in.Label {
+				correct[in.Label]++
+				margins[k][in.Label] = append(margins[k][in.Label], margin)
+			}
+		}
+		recall[k] = map[int]float64{}
+		for _, lab := range labels {
+			recall[k][lab] = float64(correct[lab]) / float64(classTotal[lab])
+		}
+	}
+
+	last := len(e.lengths) - 1
+	for _, lab := range labels {
+		target := cfg.AccFraction * recall[last][lab]
+		idx := last
+		for k := range e.lengths {
+			if recall[k][lab] >= target {
+				idx = k
+				break
+			}
+		}
+		e.safeIdx[lab] = idx
+		// Reliability threshold: the lowest margin among correct training
+		// predictions at the safe timestamp (0 when none were correct).
+		thr := math.Inf(1)
+		for _, m := range margins[idx][lab] {
+			if m < thr {
+				thr = m
+			}
+		}
+		if math.IsInf(thr, 1) {
+			thr = 0
+		}
+		e.relThr[lab] = thr
+	}
+	return e, nil
+}
+
+// looPosterior is the softmin posterior over raw prefixes with instance
+// skip excluded.
+func (e *ECDIRE) looPosterior(prefix []float64, skip int) map[int]float64 {
+	l := len(prefix)
+	nearest := map[int]float64{}
+	for i, in := range e.train.Instances {
+		if i == skip {
+			continue
+		}
+		d := 0.0
+		for j := 0; j < l; j++ {
+			diff := prefix[j] - in.Series[j]
+			d += diff * diff
+		}
+		d = math.Sqrt(d)
+		if cur, ok := nearest[in.Label]; !ok || d < cur {
+			nearest[in.Label] = d
+		}
+	}
+	mean := 0.0
+	for _, d := range nearest {
+		mean += d
+	}
+	mean /= float64(len(nearest))
+	if mean < 1e-12 {
+		mean = 1e-12
+	}
+	sum := 0.0
+	out := make(map[int]float64, len(nearest))
+	for lab, d := range nearest {
+		p := math.Exp(-e.sharp * d / mean)
+		out[lab] = p
+		sum += p
+	}
+	for lab := range out {
+		out[lab] /= sum
+	}
+	return out
+}
+
+// SafeLength returns the learned safe timestamp (in points) for a class.
+func (e *ECDIRE) SafeLength(label int) int {
+	idx, ok := e.safeIdx[label]
+	if !ok {
+		return e.full
+	}
+	return e.lengths[idx]
+}
+
+// Name implements EarlyClassifier.
+func (e *ECDIRE) Name() string {
+	return fmt.Sprintf("ECDIRE(acc=%.2f)", e.AccFraction)
+}
+
+// FullLength implements EarlyClassifier.
+func (e *ECDIRE) FullLength() int { return e.full }
+
+// ClassifyPrefix implements EarlyClassifier.
+func (e *ECDIRE) ClassifyPrefix(prefix []float64) Decision {
+	// Largest snapshot fitting the prefix.
+	k := -1
+	for i, l := range e.lengths {
+		if l <= len(prefix) {
+			k = i
+		}
+	}
+	if k < 0 {
+		return Decision{}
+	}
+	post := softminPosteriorT(e.train, prefix[:e.lengths[k]], e.sharp)
+	label, margin := topAndMargin(post)
+	safe, ok := e.safeIdx[label]
+	if !ok {
+		return Decision{Label: label, Ready: false}
+	}
+	ready := k >= safe && margin >= e.relThr[label]
+	return Decision{Label: label, Ready: ready}
+}
+
+// ForcedLabel implements EarlyClassifier.
+func (e *ECDIRE) ForcedLabel(series []float64) int {
+	l := minIntE(len(series), e.full)
+	post := softminPosteriorT(e.train, series[:l], e.sharp)
+	label, _ := topAndMargin(post)
+	return label
+}
+
+// PosteriorPrefix implements PosteriorProvider.
+func (e *ECDIRE) PosteriorPrefix(prefix []float64) map[int]float64 {
+	return softminPosteriorT(e.train, prefix, e.sharp)
+}

@@ -1,0 +1,344 @@
+package etsc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"etsc/internal/dataset"
+	"etsc/internal/ts"
+)
+
+// ECTS implements Early Classification on Time Series (Xing, Pei & Yu,
+// KAIS 2012). For every training instance it learns a Minimum Prediction
+// Length (MPL): the earliest prefix length from which that instance's
+// reverse-nearest-neighbour (RNN) relationships — and hence the
+// classification decisions it supports — remain stable all the way to full
+// length. At prediction time a prefix of length l is matched to its 1NN
+// among training prefixes of length l; the classifier commits only when
+// that neighbour's MPL is at most l.
+//
+// Relaxed=false requires the RNN set at every length >= MPL to equal the
+// full-length RNN set; Relaxed=true only requires it to contain the
+// full-length set. MinSupport is the minimum number of full-length reverse
+// nearest neighbours an instance needs before it is allowed to trigger an
+// early prediction (the paper's Table 1 uses min. support = 0).
+//
+// Like the published method, ECTS measures plain Euclidean distance on raw
+// prefix values: it implicitly assumes the incoming stream is z-normalized
+// with statistics of data it has not seen yet.
+type ECTS struct {
+	Relaxed    bool
+	MinSupport int
+
+	train *dataset.Dataset
+	mpl   []int // minimum prediction length per training instance
+	full  int
+}
+
+// NewECTS trains an ECTS model.
+func NewECTS(train *dataset.Dataset, relaxed bool, minSupport int) (*ECTS, error) {
+	if train == nil || train.Len() < 2 {
+		return nil, errors.New("etsc: ECTS needs at least 2 training instances")
+	}
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("etsc: ECTS: %w", err)
+	}
+	n := train.Len()
+	L := train.SeriesLen()
+
+	// Incremental pairwise squared distances give the 1NN of every
+	// instance at every prefix length in O(n²·L).
+	nn := make([][]int32, L+1) // nn[l][i] = index of i's 1NN at prefix length l
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+	}
+	for l := 1; l <= L; l++ {
+		for i := 0; i < n; i++ {
+			xi := train.Instances[i].Series[l-1]
+			row := d2[i]
+			for j := i + 1; j < n; j++ {
+				d := xi - train.Instances[j].Series[l-1]
+				row[j] += d * d
+			}
+		}
+		nl := make([]int32, n)
+		for i := 0; i < n; i++ {
+			best, bestD := -1, math.Inf(1)
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				var dd float64
+				if i < j {
+					dd = d2[i][j]
+				} else {
+					dd = d2[j][i]
+				}
+				if dd < bestD {
+					best, bestD = j, dd
+				}
+			}
+			nl[i] = int32(best)
+		}
+		nn[l] = nl
+	}
+
+	// RNN sets per length, as sorted member lists.
+	rnn := func(l int) [][]int32 {
+		out := make([][]int32, n)
+		for i, b := range nn[l] {
+			out[b] = append(out[b], int32(i))
+		}
+		return out
+	}
+	rnnFull := rnn(L)
+
+	mpl := make([]int, n)
+	for i := range mpl {
+		mpl[i] = L + 1 // sentinel: never eligible
+	}
+	// Walk lengths downward; an instance's MPL is the smallest l such that
+	// stability holds for every length in [l, L].
+	stableFrom := make([]int, n)
+	for i := range stableFrom {
+		stableFrom[i] = L
+	}
+	ok := make([]bool, n)
+	for i := range ok {
+		ok[i] = true
+	}
+	for l := L; l >= 1; l-- {
+		r := rnn(l)
+		for i := 0; i < n; i++ {
+			if !ok[i] {
+				continue
+			}
+			// In the relaxed variant an empty full-length RNN set would
+			// make the superset test vacuously true at every length, so
+			// instances that are nobody's nearest neighbour fall back to
+			// the strict (equality) test.
+			var stable bool
+			if relaxed && len(rnnFull[i]) > 0 {
+				stable = containsAll(r[i], rnnFull[i])
+			} else {
+				stable = int32SlicesEqual(r[i], rnnFull[i])
+			}
+			if stable {
+				stableFrom[i] = l
+			} else {
+				ok[i] = false
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(rnnFull[i]) < minSupport {
+			continue // not enough support to ever trigger
+		}
+		mpl[i] = stableFrom[i]
+	}
+
+	return &ECTS{Relaxed: relaxed, MinSupport: minSupport, train: train, mpl: mpl, full: L}, nil
+}
+
+// Name implements EarlyClassifier.
+func (e *ECTS) Name() string {
+	if e.Relaxed {
+		return fmt.Sprintf("RelaxedECTS(support=%d)", e.MinSupport)
+	}
+	return fmt.Sprintf("ECTS(support=%d)", e.MinSupport)
+}
+
+// FullLength implements EarlyClassifier.
+func (e *ECTS) FullLength() int { return e.full }
+
+// MPL returns the learned minimum prediction length of training instance i.
+func (e *ECTS) MPL(i int) int { return e.mpl[i] }
+
+// ClassifyPrefix implements EarlyClassifier: 1NN over training prefixes of
+// the same length; commit if the neighbour's MPL has been reached.
+func (e *ECTS) ClassifyPrefix(prefix []float64) Decision {
+	l := len(prefix)
+	if l < 1 || l > e.full {
+		return Decision{}
+	}
+	best, label := e.nearestPrefix(prefix)
+	if best < 0 {
+		return Decision{}
+	}
+	if e.mpl[best] <= l {
+		return Decision{Label: label, Ready: true}
+	}
+	return Decision{Label: label, Ready: false}
+}
+
+// ForcedLabel implements EarlyClassifier: plain full-length 1NN.
+func (e *ECTS) ForcedLabel(series []float64) int {
+	_, label := e.nearestPrefix(series[:minIntE(len(series), e.full)])
+	return label
+}
+
+// PosteriorPrefix implements PosteriorProvider with a softmin over nearest
+// per-class prefix distances.
+func (e *ECTS) PosteriorPrefix(prefix []float64) map[int]float64 {
+	return softminPosterior(e.train, prefix)
+}
+
+// NewSession implements SessionClassifier with incremental squared
+// distances to every training prefix: each Step costs O(n · Δl) instead of
+// the stateless O(n · l).
+func (e *ECTS) NewSession() Session {
+	return &ectsSession{e: e, d2: make([]float64, e.train.Len())}
+}
+
+type ectsSession struct {
+	e        *ECTS
+	d2       []float64 // running squared distance to each training instance
+	seen     int       // prefix length already accumulated
+	done     bool
+	decision Decision
+}
+
+// Step implements Session.
+func (s *ectsSession) Step(prefix []float64) Decision {
+	if s.done {
+		return s.decision
+	}
+	l := len(prefix)
+	if l > s.e.full {
+		l = s.e.full
+	}
+	for i, in := range s.e.train.Instances {
+		acc := s.d2[i]
+		series := in.Series
+		for t := s.seen; t < l; t++ {
+			d := prefix[t] - series[t]
+			acc += d * d
+		}
+		s.d2[i] = acc
+	}
+	s.seen = l
+
+	best, bestD := -1, math.Inf(1)
+	for i, d := range s.d2 {
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return Decision{}
+	}
+	label := s.e.train.Instances[best].Label
+	if s.e.mpl[best] <= l {
+		s.done = true
+		s.decision = Decision{Label: label, Ready: true}
+		return s.decision
+	}
+	return Decision{Label: label, Ready: false}
+}
+
+func (e *ECTS) nearestPrefix(prefix []float64) (index, label int) {
+	l := len(prefix)
+	best, bestD := -1, math.Inf(1)
+	for i, in := range e.train.Instances {
+		d, ok := ts.SquaredEuclideanEA(prefix, in.Series[:l], bestD)
+		if ok && d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, e.train.Instances[best].Label
+}
+
+// softminPosterior estimates P(class) for a prefix from the nearest
+// per-class raw-prefix distances (shared by several flawed models).
+func softminPosterior(train *dataset.Dataset, prefix []float64) map[int]float64 {
+	return softminPosteriorT(train, prefix, 1)
+}
+
+// softminPosteriorT is softminPosterior with a sharpness factor: P(c) ∝
+// exp(-sharpness · d_c / mean(d)). sharpness 1 gives a conservative,
+// well-spread posterior; larger values let confident models actually reach
+// high thresholds.
+func softminPosteriorT(train *dataset.Dataset, prefix []float64, sharpness float64) map[int]float64 {
+	l := len(prefix)
+	if l < 1 || l > train.SeriesLen() {
+		return nil
+	}
+	nearest := map[int]float64{}
+	for _, in := range train.Instances {
+		d := math.Sqrt(ts.SquaredEuclidean(prefix, in.Series[:l]))
+		if cur, ok := nearest[in.Label]; !ok || d < cur {
+			nearest[in.Label] = d
+		}
+	}
+	mean := 0.0
+	for _, d := range nearest {
+		mean += d
+	}
+	mean /= float64(len(nearest))
+	if mean < 1e-12 {
+		mean = 1e-12
+	}
+	sum := 0.0
+	out := make(map[int]float64, len(nearest))
+	for lab, d := range nearest {
+		p := math.Exp(-sharpness * d / mean)
+		out[lab] = p
+		sum += p
+	}
+	for lab := range out {
+		out[lab] /= sum
+	}
+	return out
+}
+
+func int32SlicesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sa := append([]int32(nil), a...)
+	sb := append([]int32(nil), b...)
+	sortInt32(sa)
+	sortInt32(sb)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsAll reports whether set a contains every element of b.
+func containsAll(a, b []int32) bool {
+	if len(b) == 0 {
+		return true
+	}
+	if len(a) < len(b) {
+		return false
+	}
+	sa := append([]int32(nil), a...)
+	sortInt32(sa)
+	for _, v := range b {
+		idx := sort.Search(len(sa), func(i int) bool { return sa[i] >= v })
+		if idx == len(sa) || sa[idx] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func minIntE(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,269 @@
+package etsc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"etsc/internal/dataset"
+	"etsc/internal/stats"
+	"etsc/internal/synth"
+)
+
+// RelClass implements reliability-thresholded early classification in the
+// style of Parrish et al., "Classifying with Confidence from Incomplete
+// Information" (JMLR 2013). Each class is modelled as a per-timestep
+// Gaussian over the full-length exemplar. Given a prefix, the classifier
+// computes the MAP class and then estimates the *reliability*: the
+// probability that the full-length classification will agree with the
+// current decision, marginalizing the unseen suffix under the posterior
+// mixture of class-conditional completions. It commits when reliability
+// reaches 1-τ.
+//
+// Pooled=false uses per-class variances (the quadratic-discriminant
+// setting); Pooled=true shares one variance profile across classes — the
+// LDG ("linear discriminant Gaussian") variant reported separately in the
+// paper's Table 1.
+//
+// The likelihoods are evaluated on raw incoming values: the model is fit to
+// z-normalized training data and implicitly assumes the stream arrives in
+// that space — the §4 flaw.
+type RelClass struct {
+	Tau       float64
+	Pooled    bool
+	MinPrefix int
+
+	labels []int
+	prior  []float64
+	mean   [][]float64 // [class][t]
+	std    [][]float64 // [class][t]
+	full   int
+
+	// Frozen Monte Carlo draws: uniform class selectors and standard
+	// normal suffix completions, fixed at training time so that
+	// ClassifyPrefix is a pure function.
+	classU []float64
+	noise  [][]float64 // [sample][t]
+}
+
+// RelClassConfig controls model fitting.
+type RelClassConfig struct {
+	Tau       float64 // commit when reliability >= 1-Tau (paper: τ = 0.1)
+	Pooled    bool    // LDG variant
+	Samples   int     // Monte Carlo completions per decision
+	MinStd    float64 // variance floor (shrinkage)
+	Seed      int64   // seed for the frozen Monte Carlo draws
+	MinPrefix int     // never commit before this many points
+}
+
+// DefaultRelClassConfig mirrors the paper's τ=0.1 setting.
+func DefaultRelClassConfig(pooled bool) RelClassConfig {
+	return RelClassConfig{Tau: 0.1, Pooled: pooled, Samples: 64, MinStd: 0.35, Seed: 5, MinPrefix: 10}
+}
+
+// NewRelClass fits the model to train.
+func NewRelClass(train *dataset.Dataset, cfg RelClassConfig) (*RelClass, error) {
+	if train == nil || train.Len() < 2 {
+		return nil, errors.New("etsc: RelClass needs at least 2 training instances")
+	}
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("etsc: RelClass: %w", err)
+	}
+	if cfg.Tau <= 0 || cfg.Tau >= 1 {
+		return nil, fmt.Errorf("etsc: RelClass τ must be in (0,1), got %v", cfg.Tau)
+	}
+	if cfg.Samples < 8 {
+		cfg.Samples = 8
+	}
+	if cfg.MinStd <= 0 {
+		cfg.MinStd = 0.05
+	}
+	if cfg.MinPrefix < 1 {
+		cfg.MinPrefix = 1
+	}
+
+	labels := train.Labels()
+	L := train.SeriesLen()
+	byClass := train.ByClass()
+
+	r := &RelClass{
+		Tau:       cfg.Tau,
+		Pooled:    cfg.Pooled,
+		MinPrefix: cfg.MinPrefix,
+		labels:    labels,
+		full:      L,
+	}
+	r.prior = make([]float64, len(labels))
+	r.mean = make([][]float64, len(labels))
+	r.std = make([][]float64, len(labels))
+	for ci, label := range labels {
+		idx := byClass[label]
+		r.prior[ci] = float64(len(idx)) / float64(train.Len())
+		mu := make([]float64, L)
+		sd := make([]float64, L)
+		for t := 0; t < L; t++ {
+			var acc stats.Running
+			for _, i := range idx {
+				acc.Add(train.Instances[i].Series[t])
+			}
+			mu[t] = acc.Mean()
+			s := acc.Std()
+			if s < cfg.MinStd {
+				s = cfg.MinStd
+			}
+			sd[t] = s
+		}
+		r.mean[ci] = mu
+		r.std[ci] = sd
+	}
+	if cfg.Pooled {
+		// Share one variance profile: the root mean of class variances.
+		pooled := make([]float64, L)
+		for t := 0; t < L; t++ {
+			v := 0.0
+			for ci := range labels {
+				v += r.std[ci][t] * r.std[ci][t] * r.prior[ci]
+			}
+			pooled[t] = math.Sqrt(v)
+		}
+		for ci := range labels {
+			r.std[ci] = pooled
+		}
+	}
+
+	rng := synth.NewRand(cfg.Seed)
+	r.classU = make([]float64, cfg.Samples)
+	r.noise = make([][]float64, cfg.Samples)
+	for s := 0; s < cfg.Samples; s++ {
+		r.classU[s] = rng.Float64()
+		row := make([]float64, L)
+		for t := range row {
+			row[t] = rng.NormFloat64()
+		}
+		r.noise[s] = row
+	}
+	return r, nil
+}
+
+// Name implements EarlyClassifier.
+func (r *RelClass) Name() string {
+	if r.Pooled {
+		return fmt.Sprintf("LDG-RelClass(tau=%.2g)", r.Tau)
+	}
+	return fmt.Sprintf("RelClass(tau=%.2g)", r.Tau)
+}
+
+// FullLength implements EarlyClassifier.
+func (r *RelClass) FullLength() int { return r.full }
+
+// logPosterior returns the per-class log posterior of the first l points.
+func (r *RelClass) logPosterior(series []float64, l int) []float64 {
+	out := make([]float64, len(r.labels))
+	for ci := range r.labels {
+		lp := math.Log(r.prior[ci])
+		mu, sd := r.mean[ci], r.std[ci]
+		for t := 0; t < l; t++ {
+			lp += stats.LogGaussianPDF(series[t], mu[t], sd[t])
+		}
+		out[ci] = lp
+	}
+	return out
+}
+
+// posteriorFromLog converts log posteriors to normalized probabilities.
+func posteriorFromLog(lp []float64) []float64 {
+	best := lp[0]
+	for _, v := range lp[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	sum := 0.0
+	out := make([]float64, len(lp))
+	for i, v := range lp {
+		out[i] = math.Exp(v - best)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func argmax(xs []float64) int {
+	bi := 0
+	for i := range xs {
+		if xs[i] > xs[bi] {
+			bi = i
+		}
+	}
+	return bi
+}
+
+// Reliability estimates P(full-length decision == current decision) for the
+// given prefix, using the frozen Monte Carlo completions.
+func (r *RelClass) Reliability(prefix []float64) (label int, reliability float64) {
+	l := len(prefix)
+	if l > r.full {
+		l = r.full
+	}
+	lp := r.logPosterior(prefix, l)
+	post := posteriorFromLog(lp)
+	mapIdx := argmax(post)
+	if l == r.full {
+		return r.labels[mapIdx], 1
+	}
+	// Cumulative posterior for class sampling.
+	cum := make([]float64, len(post))
+	acc := 0.0
+	for i, p := range post {
+		acc += p
+		cum[i] = acc
+	}
+	agree := 0
+	for s := range r.noise {
+		// Sample the completing class from the prefix posterior…
+		ci := sort.SearchFloat64s(cum, r.classU[s])
+		if ci >= len(r.labels) {
+			ci = len(r.labels) - 1
+		}
+		// …and complete the suffix from that class's model.
+		flp := append([]float64(nil), lp...)
+		for t := l; t < r.full; t++ {
+			x := r.mean[ci][t] + r.std[ci][t]*r.noise[s][t]
+			for cj := range r.labels {
+				flp[cj] += stats.LogGaussianPDF(x, r.mean[cj][t], r.std[cj][t])
+			}
+		}
+		if argmax(flp) == mapIdx {
+			agree++
+		}
+	}
+	return r.labels[mapIdx], float64(agree) / float64(len(r.noise))
+}
+
+// ClassifyPrefix implements EarlyClassifier.
+func (r *RelClass) ClassifyPrefix(prefix []float64) Decision {
+	label, rel := r.Reliability(prefix)
+	ready := rel >= 1-r.Tau && len(prefix) >= r.MinPrefix
+	return Decision{Label: label, Ready: ready}
+}
+
+// ForcedLabel implements EarlyClassifier: full-length MAP.
+func (r *RelClass) ForcedLabel(series []float64) int {
+	l := minIntE(len(series), r.full)
+	lp := r.logPosterior(series, l)
+	return r.labels[argmax(lp)]
+}
+
+// PosteriorPrefix implements PosteriorProvider.
+func (r *RelClass) PosteriorPrefix(prefix []float64) map[int]float64 {
+	l := minIntE(len(prefix), r.full)
+	post := posteriorFromLog(r.logPosterior(prefix, l))
+	out := make(map[int]float64, len(post))
+	for i, p := range post {
+		out[r.labels[i]] = p
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+package etsc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"etsc/internal/dataset"
+	"etsc/internal/stats"
+	"etsc/internal/ts"
+)
+
+// TEASER implements the two-tier early classifier of Schäfer & Leser
+// (Data Mining and Knowledge Discovery, 2020) at the architectural level:
+//
+//   - S snapshot lengths l_k = k·L/S. At each snapshot a probabilistic
+//     "slave" classifier produces a label and class posterior.
+//   - A per-snapshot one-class "master" decides whether that slave's
+//     posterior pattern looks like the posteriors it produced when it was
+//     *correct* on training data (we use a Gaussian envelope over
+//     [top probability, margin] features; the original uses a one-class
+//     SVM — same role, same inputs).
+//   - A prediction is emitted only after V consecutive snapshots agree on
+//     the same accepted label.
+//
+// Per the paper's footnote 2 ("Paper [2] does not have this flaw. The
+// current authors warned them of this issue before [2] was published"),
+// TEASER z-normalizes every prefix before classifying it, so it does not
+// assume the stream arrives pre-normalized. Set ZNormPrefix=false to get
+// the counterfactual flawed variant for the ablation bench.
+type TEASER struct {
+	Snapshots   int
+	V           int  // required consecutive consistent predictions
+	ZNormPrefix bool // footnote-2 behaviour (true = as published)
+
+	train    *dataset.Dataset
+	znTrain  []*dataset.Dataset // per-snapshot z-normalized prefix training sets
+	rawTrain []*dataset.Dataset // per-snapshot raw prefix training sets
+	lengths  []int
+	masters  []oneClassGate
+	full     int
+}
+
+// TEASERConfig controls training.
+type TEASERConfig struct {
+	Snapshots   int     // number of snapshot lengths (paper: 20)
+	V           int     // consecutive-agreement requirement (paper: tuned, often 2-3)
+	ZNormPrefix bool    // true reproduces the published normalization handling
+	GateSigma   float64 // master acceptance envelope width in std units
+}
+
+// DefaultTEASERConfig returns the configuration used by the experiments.
+func DefaultTEASERConfig() TEASERConfig {
+	return TEASERConfig{Snapshots: 20, V: 3, ZNormPrefix: true, GateSigma: 2.5}
+}
+
+// oneClassGate is the Gaussian-envelope master for one snapshot.
+type oneClassGate struct {
+	meanTop, stdTop       float64
+	meanMargin, stdMargin float64
+	sigma                 float64
+	trained               bool
+}
+
+func (g oneClassGate) accept(top, margin float64) bool {
+	if !g.trained {
+		return false
+	}
+	if math.Abs(top-g.meanTop) > g.sigma*g.stdTop {
+		return false
+	}
+	if margin < g.meanMargin-g.sigma*g.stdMargin {
+		return false
+	}
+	return true
+}
+
+// NewTEASER trains the snapshot classifiers and masters.
+func NewTEASER(train *dataset.Dataset, cfg TEASERConfig) (*TEASER, error) {
+	if train == nil || train.Len() < 2 {
+		return nil, errors.New("etsc: TEASER needs at least 2 training instances")
+	}
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("etsc: TEASER: %w", err)
+	}
+	if cfg.Snapshots < 2 {
+		cfg.Snapshots = 2
+	}
+	if cfg.V < 1 {
+		cfg.V = 1
+	}
+	if cfg.GateSigma <= 0 {
+		cfg.GateSigma = 2.5
+	}
+	L := train.SeriesLen()
+	t := &TEASER{
+		Snapshots:   cfg.Snapshots,
+		V:           cfg.V,
+		ZNormPrefix: cfg.ZNormPrefix,
+		train:       train,
+		full:        L,
+	}
+	for k := 1; k <= cfg.Snapshots; k++ {
+		l := k * L / cfg.Snapshots
+		if l < 3 {
+			continue
+		}
+		if len(t.lengths) > 0 && t.lengths[len(t.lengths)-1] == l {
+			continue
+		}
+		t.lengths = append(t.lengths, l)
+	}
+	for _, l := range t.lengths {
+		zn, err := train.Truncate(l, true)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := train.Truncate(l, false)
+		if err != nil {
+			return nil, err
+		}
+		t.znTrain = append(t.znTrain, zn)
+		t.rawTrain = append(t.rawTrain, raw)
+	}
+
+	// Train one master per snapshot from leave-one-out posteriors of the
+	// slave on training prefixes, keeping only the correct predictions.
+	t.masters = make([]oneClassGate, len(t.lengths))
+	for si := range t.lengths {
+		var tops, margins []float64
+		set := t.slaveSet(si)
+		for i, in := range set.Instances {
+			label, top, margin := t.slaveClassifyLOO(si, in.Series, i)
+			if label == in.Label {
+				tops = append(tops, top)
+				margins = append(margins, margin)
+			}
+		}
+		if len(tops) < 2 {
+			continue // gate stays untrained: this snapshot never accepts
+		}
+		var rt, rm stats.Running
+		rt.AddAll(tops)
+		rm.AddAll(margins)
+		g := oneClassGate{
+			meanTop: rt.Mean(), stdTop: math.Max(rt.Std(), 0.02),
+			meanMargin: rm.Mean(), stdMargin: math.Max(rm.Std(), 0.02),
+			sigma: cfg.GateSigma, trained: true,
+		}
+		t.masters[si] = g
+	}
+	return t, nil
+}
+
+func (t *TEASER) slaveSet(si int) *dataset.Dataset {
+	if t.ZNormPrefix {
+		return t.znTrain[si]
+	}
+	return t.rawTrain[si]
+}
+
+// slavePosterior computes the snapshot-si slave's posterior for a prepared
+// (already normalized if applicable) prefix, excluding training index skip
+// (-1 for none). Returns label, top probability and margin (p1-p2).
+func (t *TEASER) slavePosterior(si int, prepared []float64, skip int) (label int, top, margin float64) {
+	set := t.slaveSet(si)
+	nearest := map[int]float64{}
+	for i, in := range set.Instances {
+		if i == skip {
+			continue
+		}
+		d := math.Sqrt(ts.SquaredEuclidean(prepared, in.Series))
+		if cur, ok := nearest[in.Label]; !ok || d < cur {
+			nearest[in.Label] = d
+		}
+	}
+	if len(nearest) == 0 {
+		return 0, 0, 0
+	}
+	mean := 0.0
+	for _, d := range nearest {
+		mean += d
+	}
+	mean /= float64(len(nearest))
+	if mean < 1e-12 {
+		mean = 1e-12
+	}
+	sum := 0.0
+	probs := make(map[int]float64, len(nearest))
+	for lab, d := range nearest {
+		p := math.Exp(-d / mean)
+		probs[lab] = p
+		sum += p
+	}
+	best, second := 0.0, 0.0
+	for lab, p := range probs {
+		p /= sum
+		probs[lab] = p
+		if p > best {
+			second = best
+			best = p
+			label = lab
+		} else if p > second {
+			second = p
+		}
+	}
+	return label, best, best - second
+}
+
+// slaveClassifyLOO is slavePosterior on a training instance's own prefix
+// with itself excluded.
+func (t *TEASER) slaveClassifyLOO(si int, prepared []float64, skip int) (label int, top, margin float64) {
+	return t.slavePosterior(si, prepared, skip)
+}
+
+// prepare converts a raw incoming prefix into the slave's input space.
+func (t *TEASER) prepare(si int, prefix []float64) []float64 {
+	l := len(t.slaveSet(si).Instances[0].Series)
+	p := prefix[:l]
+	if t.ZNormPrefix {
+		return ts.ZNorm(p)
+	}
+	return p
+}
+
+// snapshotIndexFor returns the largest snapshot index whose length fits the
+// prefix, or -1.
+func (t *TEASER) snapshotIndexFor(prefixLen int) int {
+	idx := -1
+	for i, l := range t.lengths {
+		if l <= prefixLen {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// Name implements EarlyClassifier.
+func (t *TEASER) Name() string {
+	if t.ZNormPrefix {
+		return fmt.Sprintf("TEASER(S=%d,v=%d)", t.Snapshots, t.V)
+	}
+	return fmt.Sprintf("TEASER-raw(S=%d,v=%d)", t.Snapshots, t.V)
+}
+
+// FullLength implements EarlyClassifier.
+func (t *TEASER) FullLength() int { return t.full }
+
+// ClassifyPrefix implements EarlyClassifier statelessly by replaying all
+// snapshots that fit within the prefix and applying the consistency rule.
+func (t *TEASER) ClassifyPrefix(prefix []float64) Decision {
+	last := t.snapshotIndexFor(len(prefix))
+	if last < 0 {
+		return Decision{}
+	}
+	streak, streakLabel := 0, 0
+	var lastLabel int
+	for si := 0; si <= last; si++ {
+		label, top, margin := t.slavePosterior(si, t.prepare(si, prefix), -1)
+		lastLabel = label
+		if t.masters[si].accept(top, margin) {
+			if streak > 0 && label == streakLabel {
+				streak++
+			} else {
+				streak, streakLabel = 1, label
+			}
+			if streak >= t.V {
+				return Decision{Label: streakLabel, Ready: true}
+			}
+		} else {
+			streak = 0
+		}
+	}
+	return Decision{Label: lastLabel, Ready: false}
+}
+
+// NewSession implements SessionClassifier: the session evaluates each
+// snapshot exactly once as the stream grows.
+func (t *TEASER) NewSession() Session {
+	return &teaserSession{t: t}
+}
+
+type teaserSession struct {
+	t           *TEASER
+	nextSnap    int
+	streak      int
+	streakLabel int
+	done        bool
+	decision    Decision
+}
+
+// Step implements Session.
+func (s *teaserSession) Step(prefix []float64) Decision {
+	if s.done {
+		return s.decision
+	}
+	t := s.t
+	for s.nextSnap < len(t.lengths) && t.lengths[s.nextSnap] <= len(prefix) {
+		si := s.nextSnap
+		s.nextSnap++
+		label, top, margin := t.slavePosterior(si, t.prepare(si, prefix), -1)
+		if !t.masters[si].accept(top, margin) {
+			s.streak = 0
+			continue
+		}
+		if s.streak > 0 && label == s.streakLabel {
+			s.streak++
+		} else {
+			s.streak, s.streakLabel = 1, label
+		}
+		if s.streak >= t.V {
+			s.done = true
+			s.decision = Decision{Label: s.streakLabel, Ready: true}
+			return s.decision
+		}
+	}
+	return Decision{}
+}
+
+// ForcedLabel implements EarlyClassifier: final-snapshot slave decision.
+func (t *TEASER) ForcedLabel(series []float64) int {
+	si := len(t.lengths) - 1
+	label, _, _ := t.slavePosterior(si, t.prepare(si, series[:minIntE(len(series), t.full)]), -1)
+	return label
+}
+
+// PosteriorPrefix implements PosteriorProvider using the latest snapshot
+// that fits the prefix.
+func (t *TEASER) PosteriorPrefix(prefix []float64) map[int]float64 {
+	si := t.snapshotIndexFor(len(prefix))
+	if si < 0 {
+		return nil
+	}
+	set := t.slaveSet(si)
+	prepared := t.prepare(si, prefix)
+	nearest := map[int]float64{}
+	for _, in := range set.Instances {
+		d := math.Sqrt(ts.SquaredEuclidean(prepared, in.Series))
+		if cur, ok := nearest[in.Label]; !ok || d < cur {
+			nearest[in.Label] = d
+		}
+	}
+	mean := 0.0
+	for _, d := range nearest {
+		mean += d
+	}
+	mean /= float64(len(nearest))
+	if mean < 1e-12 {
+		mean = 1e-12
+	}
+	sum := 0.0
+	out := make(map[int]float64, len(nearest))
+	for lab, d := range nearest {
+		p := math.Exp(-d / mean)
+		out[lab] = p
+		sum += p
+	}
+	for lab := range out {
+		out[lab] /= sum
+	}
+	return out
+}

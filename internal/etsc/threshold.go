@@ -1,0 +1,177 @@
+package etsc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"etsc/internal/dataset"
+	"etsc/internal/ts"
+)
+
+// ProbThreshold is the paper's Fig. 3 (right) framing: "the ETSC algorithm
+// simply predicts the probability of being in each class, and if that
+// probability exceeds some user-specified threshold" it commits. The
+// posterior is a softmin over nearest per-class raw-prefix distances.
+// Like ECTS/EDSC/RelClass, it measures raw incoming values against
+// z-normalized training data — the §4 flaw.
+type ProbThreshold struct {
+	Threshold float64
+	MinPrefix int
+	// Sharpness scales the softmin temperature; higher values produce a
+	// more decisive posterior (default 5, so a clear nearest class can
+	// actually reach the 0.8 threshold of the paper's example).
+	Sharpness float64
+
+	train *dataset.Dataset
+	full  int
+}
+
+// NewProbThreshold builds the model. threshold is the user's commitment
+// probability (the paper's example uses 0.8); minPrefix guards against
+// trivial commitments on the first couple of points.
+func NewProbThreshold(train *dataset.Dataset, threshold float64, minPrefix int) (*ProbThreshold, error) {
+	if train == nil || train.Len() < 2 {
+		return nil, errors.New("etsc: ProbThreshold needs at least 2 training instances")
+	}
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("etsc: ProbThreshold: %w", err)
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("etsc: ProbThreshold threshold must be in (0,1), got %v", threshold)
+	}
+	if minPrefix < 1 {
+		minPrefix = 1
+	}
+	return &ProbThreshold{
+		Threshold: threshold,
+		MinPrefix: minPrefix,
+		Sharpness: 5,
+		train:     train,
+		full:      train.SeriesLen(),
+	}, nil
+}
+
+// Name implements EarlyClassifier.
+func (p *ProbThreshold) Name() string {
+	return fmt.Sprintf("ProbThreshold(%.2f)", p.Threshold)
+}
+
+// FullLength implements EarlyClassifier.
+func (p *ProbThreshold) FullLength() int { return p.full }
+
+// ClassifyPrefix implements EarlyClassifier.
+func (p *ProbThreshold) ClassifyPrefix(prefix []float64) Decision {
+	post := softminPosteriorT(p.train, prefix, p.Sharpness)
+	if post == nil {
+		return Decision{}
+	}
+	bestLabel, bestP := 0, -1.0
+	for lab, pr := range post {
+		if pr > bestP {
+			bestLabel, bestP = lab, pr
+		}
+	}
+	ready := bestP >= p.Threshold && len(prefix) >= p.MinPrefix
+	return Decision{Label: bestLabel, Ready: ready}
+}
+
+// ForcedLabel implements EarlyClassifier: full-length raw-ED 1NN.
+func (p *ProbThreshold) ForcedLabel(series []float64) int {
+	l := minIntE(len(series), p.full)
+	best, bestD := 0, math.Inf(1)
+	for _, in := range p.train.Instances {
+		d, ok := ts.SquaredEuclideanEA(series[:l], in.Series[:l], bestD)
+		if ok && d < bestD {
+			best, bestD = in.Label, d
+		}
+	}
+	return best
+}
+
+// PosteriorPrefix implements PosteriorProvider.
+func (p *ProbThreshold) PosteriorPrefix(prefix []float64) map[int]float64 {
+	return softminPosteriorT(p.train, prefix, p.Sharpness)
+}
+
+// FixedPrefix is the trivial baseline of the paper's Fig. 9 discussion:
+// always classify at one predetermined prefix length using 1NN, optionally
+// re-z-normalizing both sides (the "basic data cleaning, not a publishable
+// research model" the paper contrasts ETSC against).
+type FixedPrefix struct {
+	At     int  // prefix length at which to classify
+	ZNorm  bool // re-z-normalize the truncations (correct handling)
+	train  *dataset.Dataset
+	prefix *dataset.Dataset // training prefixes, prepared once
+	full   int
+}
+
+// NewFixedPrefix builds the baseline.
+func NewFixedPrefix(train *dataset.Dataset, at int, znorm bool) (*FixedPrefix, error) {
+	if train == nil || train.Len() == 0 {
+		return nil, errors.New("etsc: FixedPrefix needs training data")
+	}
+	if at < 1 || at > train.SeriesLen() {
+		return nil, fmt.Errorf("etsc: FixedPrefix length %d out of range 1..%d", at, train.SeriesLen())
+	}
+	pre, err := train.Truncate(at, znorm)
+	if err != nil {
+		return nil, err
+	}
+	return &FixedPrefix{At: at, ZNorm: znorm, train: train, prefix: pre, full: train.SeriesLen()}, nil
+}
+
+// Name implements EarlyClassifier.
+func (f *FixedPrefix) Name() string {
+	if f.ZNorm {
+		return fmt.Sprintf("FixedPrefix(at=%d,znorm)", f.At)
+	}
+	return fmt.Sprintf("FixedPrefix(at=%d,raw)", f.At)
+}
+
+// FullLength implements EarlyClassifier.
+func (f *FixedPrefix) FullLength() int { return f.full }
+
+// ClassifyPrefix implements EarlyClassifier.
+func (f *FixedPrefix) ClassifyPrefix(prefix []float64) Decision {
+	if len(prefix) < f.At {
+		return Decision{}
+	}
+	return Decision{Label: f.classifyAt(prefix), Ready: true}
+}
+
+func (f *FixedPrefix) classifyAt(prefix []float64) int {
+	q := ts.Series(prefix[:f.At])
+	if f.ZNorm {
+		q = ts.ZNorm(q)
+	}
+	best, bestD := 0, math.Inf(1)
+	for _, in := range f.prefix.Instances {
+		d, ok := ts.SquaredEuclideanEA(q, in.Series, bestD)
+		if ok && d < bestD {
+			best, bestD = in.Label, d
+		}
+	}
+	return best
+}
+
+// ForcedLabel implements EarlyClassifier.
+func (f *FixedPrefix) ForcedLabel(series []float64) int {
+	if len(series) >= f.At {
+		return f.classifyAt(series)
+	}
+	// Degenerate: series shorter than the decision point; nearest by
+	// whatever overlap exists.
+	q := ts.Series(series)
+	if f.ZNorm {
+		q = ts.ZNorm(q)
+	}
+	best, bestD := 0, math.Inf(1)
+	for _, in := range f.prefix.Instances {
+		d := ts.SquaredEuclidean(q, in.Series[:len(q)])
+		if d < bestD {
+			best, bestD = in.Label, d
+		}
+	}
+	return best
+}

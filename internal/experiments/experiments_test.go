@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment runner enforces its paper-claim internally (returns an
+// error when the shape does not hold), so these tests both exercise the
+// full pipelines and guard the reproduction.
+
+func TestRunFig1(t *testing.T) {
+	r, err := RunFig1(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTable(t, r.Table())
+	if len(r.Sparklines) != 2 {
+		t.Errorf("want 2 sparklines, got %d", len(r.Sparklines))
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	r, err := RunFig2(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTable(t, r.Table())
+	if r.TruePositives != 0 {
+		t.Errorf("TP = %d, want 0", r.TruePositives)
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	r, err := RunFig3(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTable(t, r.Table())
+	if len(r.Traces) != 2 {
+		t.Errorf("want 2 traces, got %d", len(r.Traces))
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	r, err := RunFig5(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTable(t, r.Table())
+	if len(r.Probes) != 6 {
+		t.Errorf("want 6 probes (2 exemplars x 3 backgrounds), got %d", len(r.Probes))
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	r, err := RunTable1(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTable(t, r.Table())
+	if len(r.Rows) != 7 {
+		t.Errorf("want 7 rows (6 flawed + TEASER), got %d", len(r.Rows))
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	r, err := RunFig7(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTable(t, r.Table())
+}
+
+func TestRunFig8(t *testing.T) {
+	r, err := RunFig8(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTable(t, r.Table())
+}
+
+func TestRunFig9(t *testing.T) {
+	r, err := RunFig9(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTable(t, r.Table())
+}
+
+func TestRunAppendixB(t *testing.T) {
+	r, err := RunAppendixB(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTable(t, r.Table())
+	if r.Report.Verdict() != 0 { // core.Meaningless
+		t.Errorf("verdict %v, want MEANINGLESS", r.Report.Verdict())
+	}
+}
+
+// TestDeterminism verifies that a fixed seed reproduces identical tables.
+func TestDeterminism(t *testing.T) {
+	a, err := RunFig9(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig9(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table() != b.Table() {
+		t.Error("same seed should reproduce the identical experiment")
+	}
+}
+
+func logTable(t *testing.T, s string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		t.Log(line)
+	}
+}
+
+func TestRunTable1Extended(t *testing.T) {
+	r, err := RunTable1Extended(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTable(t, r.Table())
+	if len(r.Rows) != 5 {
+		t.Errorf("want 5 rows, got %d", len(r.Rows))
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"etsc/internal/classify"
+	"etsc/internal/stats"
+	"etsc/internal/synth"
+)
+
+// Fig7Result reproduces Fig. 7: raw two-lead ECG shows dramatic but
+// medically meaningless variation in per-beat mean (lead 1) and per-beat
+// standard deviation (lead 2) — the variation the UCR formatting step
+// removes and a streaming early classifier cannot.
+type Fig7Result struct {
+	Beats           int
+	Lead1MeanSpread float64 // range of per-beat means, in R-peak units
+	Lead2StdRatio   float64 // max/min per-beat standard deviation
+	RawAccuracy     float64 // LOO 1NN on raw beats (normal vs ST-elevated)
+	ZNormAccuracy   float64 // LOO 1NN on z-normalized beats
+}
+
+// RunFig7 renders the recording, quantifies the wander, and shows the
+// downstream consequence: beat classification that works on z-normalized
+// beats degrades on raw telemetry.
+func RunFig7(cfg Config) (*Fig7Result, error) {
+	nBeats := 60
+	if cfg.Quick {
+		nBeats = 30
+	}
+	ecg, err := synth.ECG(synth.NewRand(cfg.Seed+9), synth.DefaultECGConfig(), nBeats, 3)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-beat statistics straight off the raw leads.
+	var means1, stds2 []float64
+	for i, start := range ecg.BeatStart {
+		end := start + ecg.BeatLen[i]
+		m1, _ := stats.Describe(ecg.Lead1[start:end])
+		means1 = append(means1, m1.Mean)
+		s2, _ := stats.Describe(ecg.Lead2[start:end])
+		stds2 = append(stds2, s2.Std)
+	}
+	sm1, err := stats.Describe(means1)
+	if err != nil {
+		return nil, err
+	}
+	ss2, err := stats.Describe(stds2)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig7Result{
+		Beats:           nBeats,
+		Lead1MeanSpread: sm1.Max - sm1.Min,
+		Lead2StdRatio:   ss2.Max / ss2.Min,
+	}
+
+	// Downstream consequence: classify normal vs ST-elevated beats.
+	raw, err := ecg.Beats(1, 100, false)
+	if err != nil {
+		return nil, err
+	}
+	zn, err := ecg.Beats(1, 100, true)
+	if err != nil {
+		return nil, err
+	}
+	res.RawAccuracy = classify.LeaveOneOut(raw, classify.EuclideanDistance{}).Accuracy()
+	res.ZNormAccuracy = classify.LeaveOneOut(zn, classify.EuclideanDistance{}).Accuracy()
+
+	// Shape checks: the wander is dramatic relative to beat amplitude
+	// (R peak = 1), and z-normalization is what makes the beats
+	// classifiable.
+	if res.Lead1MeanSpread < 0.3 {
+		return res, fmt.Errorf("fig7: lead-1 per-beat mean spread %.3f too small to illustrate baseline wander",
+			res.Lead1MeanSpread)
+	}
+	if res.Lead2StdRatio < 1.5 {
+		return res, fmt.Errorf("fig7: lead-2 per-beat std ratio %.2f too small to illustrate amplitude wander",
+			res.Lead2StdRatio)
+	}
+	if res.ZNormAccuracy < res.RawAccuracy+0.05 {
+		return res, fmt.Errorf("fig7: z-normalized accuracy %.3f should clearly beat raw %.3f",
+			res.ZNormAccuracy, res.RawAccuracy)
+	}
+	return res, nil
+}
+
+// Table renders the figure-style output.
+func (r *Fig7Result) Table() string {
+	var b strings.Builder
+	b.WriteString("FIG 7 — raw two-lead ECG: medically meaningless mean/std wander per beat\n\n")
+	rows := [][]string{
+		{"beats rendered", fmt.Sprintf("%d", r.Beats)},
+		{"lead 1: per-beat mean spread (R units)", fmt.Sprintf("%.3f", r.Lead1MeanSpread)},
+		{"lead 2: per-beat std max/min ratio", fmt.Sprintf("%.2f", r.Lead2StdRatio)},
+		{"LOO 1NN accuracy on raw beats", pct(r.RawAccuracy)},
+		{"LOO 1NN accuracy on z-normalized beats", pct(r.ZNormAccuracy)},
+	}
+	b.WriteString(table([]string{"quantity", "value"}, rows))
+	b.WriteString("\n  the z-normalization that makes beats classifiable uses statistics a streaming\n")
+	b.WriteString("  early classifier cannot have: the beat has not finished yet (§4)\n")
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfPMFSums(t *testing.T) {
+	z, err := NewZipf(1.0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for r := 1; r <= 100; r++ {
+		sum += z.PMF(r)
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("PMF sums to %v", sum)
+	}
+	if z.PMF(0) != 0 || z.PMF(101) != 0 {
+		t.Error("out-of-range PMF should be 0")
+	}
+}
+
+func TestZipfMonotone(t *testing.T) {
+	z, err := NewZipf(1.2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 50; r++ {
+		if z.PMF(r) < z.PMF(r+1) {
+			t.Fatalf("PMF not decreasing at rank %d", r)
+		}
+	}
+	if z.CDF(50) != 1 || z.CDF(0) != 0 {
+		t.Error("CDF bounds")
+	}
+}
+
+func TestZipfFrequencyRatio(t *testing.T) {
+	z, err := NewZipf(1.0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With s=1, rank 10 is 10x more frequent than rank 100.
+	if got := z.FrequencyRatio(10, 100); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("ratio = %v, want 10", got)
+	}
+	if got := z.FrequencyRatio(1, 0); got <= 0 {
+		t.Errorf("unknown rank ratio = %v, want +Inf", got)
+	}
+}
+
+func TestZipfSampleProperty(t *testing.T) {
+	z, err := NewZipf(1.0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(u float64) bool {
+		if u < 0 {
+			u = -u
+		}
+		u -= float64(int(u)) // to [0,1)
+		r := z.Sample(u)
+		return r >= 1 && r <= 20
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Inverse-CDF correctness at the boundaries.
+	if z.Sample(0) != 1 {
+		t.Errorf("Sample(0) = %d, want rank 1", z.Sample(0))
+	}
+	if z.Sample(0.999999) != 20 {
+		t.Errorf("Sample(~1) = %d, want rank 20", z.Sample(0.999999))
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	if _, err := NewZipf(1, 0); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewZipf(-1, 10); err == nil {
+		t.Error("negative exponent should error")
+	}
+}

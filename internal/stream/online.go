@@ -1,0 +1,126 @@
+package stream
+
+import (
+	"errors"
+
+	"etsc/internal/etsc"
+)
+
+// Online is the point-at-a-time counterpart of Monitor: data arrives one
+// sample per Push call, candidate windows are opened every Stride samples,
+// and each open candidate's classifier session is advanced every Step
+// samples until it commits or its window completes. Memory is bounded by
+// one window of samples plus WindowLen/Stride live sessions.
+//
+// Online(stride, step).PushAll(stream) produces exactly the detections of
+// Monitor{Stride: stride, Step: step}.Run(stream) (without suppression),
+// which TestOnlineMatchesBatch asserts.
+type Online struct {
+	classifier etsc.EarlyClassifier
+	stride     int
+	step       int
+	window     int
+
+	pos        int // total samples consumed
+	buf        []float64
+	bufStart   int // stream index of buf[0]
+	candidates []*onlineCandidate
+}
+
+type onlineCandidate struct {
+	start   int // stream index of the candidate window start
+	nextLen int // prefix length at which to next consult the classifier
+	sess    etsc.Session
+}
+
+// NewOnline builds an online monitor.
+func NewOnline(c etsc.EarlyClassifier, stride, step int) (*Online, error) {
+	if c == nil {
+		return nil, errors.New("stream: Online needs a classifier")
+	}
+	if stride < 1 {
+		stride = 4
+	}
+	if step < 1 {
+		step = 4
+	}
+	return &Online{
+		classifier: c,
+		stride:     stride,
+		step:       step,
+		window:     c.FullLength(),
+	}, nil
+}
+
+// Pos returns the number of samples consumed so far.
+func (o *Online) Pos() int { return o.pos }
+
+// ActiveCandidates returns the number of live candidate windows.
+func (o *Online) ActiveCandidates() int { return len(o.candidates) }
+
+// Push consumes one sample and returns any detections that fired on it.
+func (o *Online) Push(v float64) []Detection {
+	// Open a candidate at every stride boundary.
+	if o.pos%o.stride == 0 {
+		cand := &onlineCandidate{start: o.pos, nextLen: o.step}
+		if sc, ok := o.classifier.(etsc.SessionClassifier); ok {
+			cand.sess = sc.NewSession()
+		}
+		o.candidates = append(o.candidates, cand)
+	}
+	o.buf = append(o.buf, v)
+	o.pos++
+
+	var out []Detection
+	keep := o.candidates[:0]
+	for _, c := range o.candidates {
+		have := o.pos - c.start // points of this candidate's window seen
+		done := false
+		for c.nextLen <= have && c.nextLen <= o.window {
+			prefix := o.buf[c.start-o.bufStart : c.start-o.bufStart+c.nextLen]
+			var d etsc.Decision
+			if c.sess != nil {
+				d = c.sess.Step(prefix)
+			} else {
+				d = o.classifier.ClassifyPrefix(prefix)
+			}
+			if d.Ready {
+				out = append(out, Detection{
+					Start:      c.start,
+					DecisionAt: c.start + c.nextLen - 1,
+					Label:      d.Label,
+					Earliness:  float64(c.nextLen) / float64(o.window),
+				})
+				done = true
+				break
+			}
+			c.nextLen += o.step
+		}
+		if !done && have < o.window {
+			keep = append(keep, c)
+		}
+	}
+	o.candidates = keep
+
+	// Trim the buffer to the oldest live candidate (or the last window).
+	oldest := o.pos - o.window
+	for _, c := range o.candidates {
+		if c.start < oldest {
+			oldest = c.start
+		}
+	}
+	if oldest > o.bufStart {
+		o.buf = o.buf[oldest-o.bufStart:]
+		o.bufStart = oldest
+	}
+	return out
+}
+
+// PushAll consumes a batch of samples and returns all detections.
+func (o *Online) PushAll(stream []float64) []Detection {
+	var out []Detection
+	for _, v := range stream {
+		out = append(out, o.Push(v)...)
+	}
+	return out
+}

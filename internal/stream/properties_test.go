@@ -1,0 +1,152 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"etsc/internal/synth"
+)
+
+// randomScenario builds a random but well-formed detection/truth pair.
+func randomScenario(rng *rand.Rand) ([]Detection, []GroundTruth) {
+	nT := rng.Intn(8)
+	var truth []GroundTruth
+	pos := 0
+	for i := 0; i < nT; i++ {
+		pos += 10 + rng.Intn(200)
+		length := 20 + rng.Intn(100)
+		truth = append(truth, GroundTruth{
+			Label: 1 + rng.Intn(3),
+			Start: pos,
+			End:   pos + length,
+		})
+		pos += length
+	}
+	nD := rng.Intn(15)
+	var dets []Detection
+	for i := 0; i < nD; i++ {
+		at := rng.Intn(pos + 500)
+		dets = append(dets, Detection{
+			Start:      at - rng.Intn(50),
+			DecisionAt: at,
+			Label:      1 + rng.Intn(3),
+		})
+	}
+	return dets, truth
+}
+
+// TestMatchInvariantsProperty checks the accounting identities of Match on
+// random scenarios: TP <= min(#detections, #truth), TP+FN == #truth,
+// TP+FP <= #detections, lead times recorded one per TP.
+func TestMatchInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dets, truth := randomScenario(rng)
+		tol := rng.Intn(30)
+		tally := Match(dets, truth, tol)
+		if tally.TP > len(dets) || tally.TP > len(truth) {
+			return false
+		}
+		if tally.TP+tally.FN != len(truth) {
+			return false
+		}
+		if tally.TP+tally.FP > len(dets) {
+			return false
+		}
+		if len(tally.LeadTimes) != tally.TP {
+			return false
+		}
+		if tally.Precision() < 0 || tally.Precision() > 1 {
+			return false
+		}
+		if tally.Recall() < 0 || tally.Recall() > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchZeroToleranceSubsetProperty: raising the tolerance can only
+// increase (or keep) the TP count.
+func TestMatchToleranceMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dets, truth := randomScenario(rng)
+		prev := -1
+		for _, tol := range []int{0, 10, 50, 200} {
+			tp := Match(dets, truth, tol).TP
+			if tp < prev {
+				return false
+			}
+			prev = tp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSuppressInvariantsProperty: suppression never increases the count,
+// keeps only existing detections, and leaves same-label detections at
+// least `radius` apart.
+func TestSuppressInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dets, _ := randomScenario(rng)
+		radius := 1 + rng.Intn(100)
+		out := suppress(append([]Detection(nil), dets...), radius)
+		if len(out) > len(dets) {
+			return false
+		}
+		lastAt := map[int]int{}
+		for _, d := range out {
+			if at, ok := lastAt[d.Label]; ok && d.DecisionAt-at < radius {
+				return false
+			}
+			lastAt[d.Label] = d.DecisionAt
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonitorDetectionInvariants runs a real monitor and checks structural
+// invariants of its detections.
+func TestMonitorDetectionInvariants(t *testing.T) {
+	_, c := wordModel(t, 44)
+	sentence, _, err := randomSentence(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Monitor{Classifier: c, Stride: 3, Step: 2}
+	dets, err := m.Run(sentence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dets {
+		if d.Start%3 != 0 {
+			t.Errorf("detection %d start %d not on stride grid", i, d.Start)
+		}
+		if d.DecisionAt < d.Start || d.DecisionAt >= d.Start+c.FullLength() {
+			t.Errorf("detection %d decision point %d outside its window [%d, %d)",
+				i, d.DecisionAt, d.Start, d.Start+c.FullLength())
+		}
+		if d.Earliness <= 0 || d.Earliness > 1 {
+			t.Errorf("detection %d earliness %v out of (0,1]", i, d.Earliness)
+		}
+	}
+}
+
+func randomSentence(t testing.TB) ([]float64, []GroundTruth, error) {
+	t.Helper()
+	stream, _, err := synth.Sentence(synth.NewRand(77), synth.MorningLightSentence,
+		synth.DefaultWordConfig(), 25)
+	return stream, nil, err
+}

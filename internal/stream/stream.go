@@ -1,0 +1,310 @@
+// Package stream implements the deployment setting the paper argues every
+// ETSC evaluation ignores: a continuous, unsegmented, un-normalized stream
+// in which target patterns are rare and everything else is "spurious data
+// that might be thousands of times more frequent than target data".
+//
+// It provides a candidate-window monitor that runs any etsc.EarlyClassifier
+// over a stream, ground-truth matching that scores detections as true/false
+// positives, a full-window verifier that models the "recant" step (the
+// retraction the paper notes defeats the purpose of early classification),
+// and a template monitor for threshold-based detectors (Fig. 8).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"etsc/internal/dataset"
+	"etsc/internal/etsc"
+	"etsc/internal/ts"
+)
+
+// Detection is one alarm raised by a monitor.
+type Detection struct {
+	Start      int     // candidate window start in the stream
+	DecisionAt int     // stream index at which the alarm fired (inclusive end)
+	Label      int     // predicted class
+	Earliness  float64 // fraction of the window seen when the alarm fired
+	Recanted   bool    // set by Verify: the full window failed verification
+}
+
+// Monitor slides candidate windows over a stream and runs an early
+// classifier on each. A new candidate is opened every Stride points; each
+// candidate is fed prefixes every Step points until the classifier commits
+// or the window completes without commitment.
+type Monitor struct {
+	Classifier etsc.EarlyClassifier
+	Stride     int // candidate spacing (default: 4)
+	Step       int // prefix growth per classifier call (default: 4)
+	// Suppress, when > 0, drops detections whose decision point is within
+	// Suppress points of an earlier accepted detection with the same
+	// label — debouncing, so one event does not fire dozens of alarms.
+	Suppress int
+}
+
+// Run scans the whole stream and returns detections in decision order.
+func (m *Monitor) Run(stream []float64) ([]Detection, error) {
+	if m.Classifier == nil {
+		return nil, errors.New("stream: Monitor needs a classifier")
+	}
+	stride := m.Stride
+	if stride < 1 {
+		stride = 4
+	}
+	step := m.Step
+	if step < 1 {
+		step = 4
+	}
+	L := m.Classifier.FullLength()
+	if L > len(stream) {
+		return nil, fmt.Errorf("stream: stream length %d shorter than window %d", len(stream), L)
+	}
+
+	var dets []Detection
+	for start := 0; start+L <= len(stream); start += stride {
+		window := stream[start : start+L]
+		var sess etsc.Session
+		if sc, ok := m.Classifier.(etsc.SessionClassifier); ok {
+			sess = sc.NewSession()
+		}
+		for l := step; l <= L; l += step {
+			var d etsc.Decision
+			if sess != nil {
+				d = sess.Step(window[:l])
+			} else {
+				d = m.Classifier.ClassifyPrefix(window[:l])
+			}
+			if d.Ready {
+				dets = append(dets, Detection{
+					Start:      start,
+					DecisionAt: start + l - 1,
+					Label:      d.Label,
+					Earliness:  float64(l) / float64(L),
+				})
+				break
+			}
+		}
+	}
+	if m.Suppress > 0 {
+		dets = suppress(dets, m.Suppress)
+	}
+	return dets, nil
+}
+
+// suppress keeps the earliest detection in each same-label burst.
+func suppress(dets []Detection, radius int) []Detection {
+	sort.Slice(dets, func(a, b int) bool { return dets[a].DecisionAt < dets[b].DecisionAt })
+	lastAt := map[int]int{}
+	var out []Detection
+	for _, d := range dets {
+		if at, ok := lastAt[d.Label]; ok && d.DecisionAt-at < radius {
+			continue
+		}
+		lastAt[d.Label] = d.DecisionAt
+		out = append(out, d)
+	}
+	return out
+}
+
+// GroundTruth is one annotated true event in the stream.
+type GroundTruth struct {
+	Label      int
+	Start, End int // half-open
+}
+
+// Tally scores detections against ground truth.
+type Tally struct {
+	TP, FP, FN int
+	Recanted   int // detections whose full window failed verification
+	Detections []Detection
+	// LeadTime is, for each true positive, End-of-event minus decision
+	// point: how much earlier than the event's end the alarm fired.
+	LeadTimes []int
+}
+
+// Precision returns TP/(TP+FP); 1 if no detections.
+func (t Tally) Precision() float64 {
+	if t.TP+t.FP == 0 {
+		return 1
+	}
+	return float64(t.TP) / float64(t.TP+t.FP)
+}
+
+// Recall returns TP/(TP+FN); 1 if no true events.
+func (t Tally) Recall() float64 {
+	if t.TP+t.FN == 0 {
+		return 1
+	}
+	return float64(t.TP) / float64(t.TP+t.FN)
+}
+
+// FPPerTP returns the false-positive-per-true-positive ratio (+Inf when
+// there are false positives but no true positives).
+func (t Tally) FPPerTP() float64 {
+	if t.TP == 0 {
+		if t.FP == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return float64(t.FP) / float64(t.TP)
+}
+
+// Match scores detections against truth. A detection is a true positive if
+// its decision point falls inside a true event of the same label extended
+// by tolerance points on both sides; each true event absorbs at most one
+// true positive (extra hits on the same event are neither TPs nor FPs).
+// Unclaimed true events count as false negatives.
+func Match(dets []Detection, truth []GroundTruth, tolerance int) Tally {
+	claimed := make([]bool, len(truth))
+	used := make([]bool, len(dets))
+	tally := Tally{Detections: dets}
+	// Greedy in decision order: earliest detection claims the event.
+	order := make([]int, len(dets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dets[order[a]].DecisionAt < dets[order[b]].DecisionAt })
+	for _, di := range order {
+		d := dets[di]
+		for ti, tr := range truth {
+			if claimed[ti] || tr.Label != d.Label {
+				continue
+			}
+			if d.DecisionAt >= tr.Start-tolerance && d.DecisionAt < tr.End+tolerance {
+				claimed[ti] = true
+				used[di] = true
+				tally.TP++
+				tally.LeadTimes = append(tally.LeadTimes, tr.End-d.DecisionAt)
+				break
+			}
+		}
+	}
+	for di, d := range dets {
+		if used[di] {
+			continue
+		}
+		// A duplicate hit on an already-claimed event is not an FP.
+		dup := false
+		for ti, tr := range truth {
+			if claimed[ti] && tr.Label == d.Label &&
+				d.DecisionAt >= tr.Start-tolerance && d.DecisionAt < tr.End+tolerance {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			tally.FP++
+		}
+	}
+	for _, c := range claimed {
+		if !c {
+			tally.FN++
+		}
+	}
+	for _, d := range dets {
+		if d.Recanted {
+			tally.Recanted++
+		}
+	}
+	return tally
+}
+
+// Verifier decides, once a detection's full window is available, whether
+// the early classification survives — the "recant" check. A rejected
+// detection is exactly the situation the paper describes: an alarm that
+// "must later be recanted", after the action has already been taken.
+type Verifier interface {
+	// Verify reports whether the completed window still supports label.
+	Verify(window []float64, label int) bool
+}
+
+// NNVerifier accepts a window iff its z-normalized distance to the nearest
+// training exemplar of the detected class is within a calibrated envelope
+// (a quantile of leave-one-out nearest-neighbour distances per class).
+type NNVerifier struct {
+	train     *dataset.Dataset
+	threshold map[int]float64
+}
+
+// NewNNVerifier calibrates per-class acceptance thresholds at the given
+// quantile (e.g. 0.95) of within-class leave-one-out NN distances, scaled
+// by slack (>= 1 loosens the envelope).
+func NewNNVerifier(train *dataset.Dataset, quantile, slack float64) (*NNVerifier, error) {
+	if train == nil || train.Len() < 2 {
+		return nil, errors.New("stream: NNVerifier needs at least 2 training instances")
+	}
+	if quantile <= 0 || quantile > 1 {
+		return nil, fmt.Errorf("stream: NNVerifier quantile %v out of (0,1]", quantile)
+	}
+	if slack < 1 {
+		slack = 1
+	}
+	v := &NNVerifier{train: train, threshold: map[int]float64{}}
+	byClass := train.ByClass()
+	for label, idx := range byClass {
+		if len(idx) < 2 {
+			v.threshold[label] = math.Inf(1)
+			continue
+		}
+		var dists []float64
+		for _, i := range idx {
+			best := math.Inf(1)
+			zi := ts.ZNorm(train.Instances[i].Series)
+			for _, j := range idx {
+				if i == j {
+					continue
+				}
+				d := ts.Euclidean(zi, ts.ZNorm(train.Instances[j].Series))
+				if d < best {
+					best = d
+				}
+			}
+			dists = append(dists, best)
+		}
+		sort.Float64s(dists)
+		q := dists[int(float64(len(dists)-1)*quantile)]
+		v.threshold[label] = q * slack
+	}
+	return v, nil
+}
+
+// Threshold returns the calibrated acceptance distance for label.
+func (v *NNVerifier) Threshold(label int) float64 { return v.threshold[label] }
+
+// Verify implements Verifier.
+func (v *NNVerifier) Verify(window []float64, label int) bool {
+	thr, ok := v.threshold[label]
+	if !ok {
+		return false
+	}
+	zw := ts.ZNorm(window)
+	for _, in := range v.train.Instances {
+		if in.Label != label {
+			continue
+		}
+		if len(in.Series) != len(zw) {
+			continue
+		}
+		if ts.Euclidean(zw, ts.ZNorm(in.Series)) <= thr {
+			return true
+		}
+	}
+	return false
+}
+
+// Verify applies the verifier to every detection's completed window,
+// marking Recanted in place. Detections whose full window extends past the
+// stream end are marked recanted (the pattern never completed).
+func Verify(dets []Detection, stream []float64, windowLen int, v Verifier) {
+	for i := range dets {
+		end := dets[i].Start + windowLen
+		if end > len(stream) {
+			dets[i].Recanted = true
+			continue
+		}
+		dets[i].Recanted = !v.Verify(stream[dets[i].Start:end], dets[i].Label)
+	}
+}

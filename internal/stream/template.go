@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"etsc/internal/ts"
+)
+
+// TemplateDetection is one match of a template detector.
+type TemplateDetection struct {
+	Start int     // window start in the stream
+	End   int     // window end (exclusive) — also the alarm time
+	Dist  float64 // z-normalized Euclidean distance to the template
+}
+
+// TemplateMonitor is the detector of the paper's Fig. 8: any subsequence
+// within Threshold of the (z-normalized) Template is reported. A truncated
+// template with a re-calibrated threshold is the paper's entire "early
+// classification" — which, it argues, is "just classification with an
+// awareness ... that the sensitivity and specificity of a time series
+// template will change as you add or delete points".
+type TemplateMonitor struct {
+	Template  ts.Series
+	Threshold float64
+	// Exclusion is the non-overlap radius between reported matches
+	// (<= 0: half template length).
+	Exclusion int
+}
+
+// NewTemplateMonitor validates and builds a monitor.
+func NewTemplateMonitor(template []float64, threshold float64, exclusion int) (*TemplateMonitor, error) {
+	if len(template) < 2 {
+		return nil, errors.New("stream: template too short")
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("stream: threshold must be positive, got %v", threshold)
+	}
+	return &TemplateMonitor{
+		Template:  append(ts.Series(nil), template...),
+		Threshold: threshold,
+		Exclusion: exclusion,
+	}, nil
+}
+
+// Run returns every (non-overlapping) match in the stream, by position.
+func (m *TemplateMonitor) Run(stream []float64) ([]TemplateDetection, error) {
+	matches, err := ts.MatchesBelow(m.Template, stream, m.Threshold, m.Exclusion)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TemplateDetection, len(matches))
+	for i, match := range matches {
+		out[i] = TemplateDetection{
+			Start: match.Start,
+			End:   match.Start + len(m.Template),
+			Dist:  match.Dist,
+		}
+	}
+	return out, nil
+}
+
+// TopK returns the k nearest non-overlapping neighbours of the template in
+// the stream regardless of threshold — the "500 nearest neighbors" analysis
+// of Fig. 8.
+func (m *TemplateMonitor) TopK(stream []float64, k int) ([]TemplateDetection, error) {
+	matches, err := ts.TopMatches(m.Template, stream, k, m.Exclusion)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TemplateDetection, len(matches))
+	for i, match := range matches {
+		out[i] = TemplateDetection{
+			Start: match.Start,
+			End:   match.Start + len(m.Template),
+			Dist:  match.Dist,
+		}
+	}
+	return out, nil
+}
+
+// ScoreTemplateDetections counts how many detections land inside intervals
+// of the wanted behaviour (tolerance-padded), returning hits and total.
+func ScoreTemplateDetections(dets []TemplateDetection, truth []GroundTruth, label, tolerance int) (hits, total int) {
+	for _, d := range dets {
+		total++
+		for _, tr := range truth {
+			if tr.Label != label {
+				continue
+			}
+			if d.Start >= tr.Start-tolerance && d.Start < tr.End+tolerance {
+				hits++
+				break
+			}
+		}
+	}
+	return hits, total
+}

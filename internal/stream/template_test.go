@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"testing"
+
+	"etsc/internal/synth"
+)
+
+func TestTemplateMonitorFindsPlantedBouts(t *testing.T) {
+	rng := synth.NewRand(4)
+	cfg := synth.DefaultChickenConfig()
+	cfg.DustbathProb = 0.15
+	data, intervals, err := synth.ChickenStream(rng, cfg, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dust := synth.IntervalsOf(intervals, synth.Dustbathing)
+	if len(dust) < 3 {
+		t.Skipf("only %d dustbathing bouts in this stream", len(dust))
+	}
+	tmpl := synth.DustbathingTemplate(synth.DustbathingTemplateLen)
+	mon, err := NewTemplateMonitor(tmpl, 2.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var truth []GroundTruth
+	for _, iv := range dust {
+		truth = append(truth, GroundTruth{Label: 1, Start: iv.Start, End: iv.End})
+	}
+
+	dets, err := mon.TopK(data, len(dust))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, total := ScoreTemplateDetections(dets, truth, 1, len(tmpl))
+	if total != len(dust) {
+		t.Errorf("total %d, want %d", total, len(dust))
+	}
+	if float64(hits) < 0.8*float64(total) {
+		t.Errorf("only %d/%d nearest neighbours are in-bout", hits, total)
+	}
+}
+
+func TestTemplateMonitorRunThreshold(t *testing.T) {
+	rng := synth.NewRand(5)
+	cfg := synth.DefaultChickenConfig()
+	cfg.DustbathProb = 0.15
+	data, intervals, err := synth.ChickenStream(rng, cfg, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dust := synth.IntervalsOf(intervals, synth.Dustbathing)
+	tmpl := synth.DustbathingTemplate(synth.DustbathingTemplateLen)
+	mon, err := NewTemplateMonitor(tmpl, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, err := mon.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dust) > 0 && len(dets) == 0 {
+		t.Error("threshold detector found nothing despite dustbathing bouts")
+	}
+	for _, d := range dets {
+		if d.Dist > 2.0 {
+			t.Errorf("detection above threshold: %v", d.Dist)
+		}
+		if d.End != d.Start+len(tmpl) {
+			t.Errorf("end %d inconsistent with start %d", d.End, d.Start)
+		}
+	}
+}
+
+func TestTemplateMonitorErrors(t *testing.T) {
+	if _, err := NewTemplateMonitor([]float64{1}, 1, 0); err == nil {
+		t.Error("too-short template should error")
+	}
+	if _, err := NewTemplateMonitor([]float64{1, 2, 3}, 0, 0); err == nil {
+		t.Error("non-positive threshold should error")
+	}
+	mon, err := NewTemplateMonitor([]float64{1, 2, 3, 4}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Run([]float64{1, 2}); err == nil {
+		t.Error("stream shorter than template should error")
+	}
+}

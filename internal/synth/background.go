@@ -1,0 +1,216 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"etsc/internal/ts"
+)
+
+// The three non-gesture background signals of Fig. 5: one hour of eye
+// movement (EOG), a smoothed random walk, and eight hours of insect
+// behaviour (EPG). The paper searches GunPoint exemplars against these to
+// demonstrate that "time series homophones" — non-gesture subsequences
+// closer to a gesture exemplar than another exemplar of its own class —
+// exist essentially everywhere.
+
+// SmoothedRandomWalk returns a length-n random walk smoothed with a centred
+// moving average of the given window (the paper uses "a smoothed random
+// walk of length 2^24"; window 16 reproduces its visual character).
+func SmoothedRandomWalk(rng *rand.Rand, n, window int) (ts.Series, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("synth: SmoothedRandomWalk needs n > 0, got %d", n)
+	}
+	walk := make(ts.Series, n)
+	v := 0.0
+	for i := range walk {
+		v += rng.NormFloat64()
+		walk[i] = v
+	}
+	if window > 1 {
+		walk = ts.MovingAverage(walk, window)
+	}
+	return walk, nil
+}
+
+// EOGConfig controls the eye-movement generator.
+type EOGConfig struct {
+	SampleRate    int     // Hz
+	SaccadeRate   float64 // saccades per second
+	BlinkRate     float64 // blinks per second
+	DriftSigma    float64 // slow ocular drift
+	NoiseSigma    float64 // electrode noise
+	GazeSpan      float64 // amplitude range of gaze positions
+	SaccadePoints int     // duration of a saccade transition
+}
+
+// DefaultEOGConfig approximates a 100 Hz EOG channel; one hour ≈ 360 000
+// points.
+func DefaultEOGConfig() EOGConfig {
+	return EOGConfig{
+		SampleRate:    100,
+		SaccadeRate:   1.8,
+		BlinkRate:     0.25,
+		DriftSigma:    0.002,
+		NoiseSigma:    0.015,
+		GazeSpan:      1.0,
+		SaccadePoints: 6,
+	}
+}
+
+// EOG renders n points of eye-movement-like signal: piecewise-constant gaze
+// fixations connected by fast saccade steps, slow drift, and occasional
+// blink spikes.
+func EOG(rng *rand.Rand, cfg EOGConfig, n int) (ts.Series, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("synth: EOG needs n > 0, got %d", n)
+	}
+	s := make(ts.Series, n)
+	gaze := 0.0
+	target := 0.0
+	drift := 0.0
+	saccadeLeft := 0
+	saccadeStep := 0.0
+	pSaccade := cfg.SaccadeRate / float64(cfg.SampleRate)
+	pBlink := cfg.BlinkRate / float64(cfg.SampleRate)
+	i := 0
+	for i < n {
+		switch {
+		case saccadeLeft > 0:
+			gaze += saccadeStep
+			saccadeLeft--
+		case rng.Float64() < pSaccade:
+			target = (rng.Float64()*2 - 1) * cfg.GazeSpan
+			saccadeLeft = cfg.SaccadePoints
+			saccadeStep = (target - gaze) / float64(cfg.SaccadePoints)
+		}
+		drift += rng.NormFloat64() * cfg.DriftSigma
+		s[i] = gaze + drift + rng.NormFloat64()*cfg.NoiseSigma
+		i++
+		// Blink: a fast biphasic spike ~120 ms.
+		if rng.Float64() < pBlink {
+			bl := cfg.SampleRate / 8
+			for j := 0; j < bl && i < n; j++ {
+				x := float64(j) / float64(bl)
+				s[i] = gaze + drift + 1.8*envelope(x) + rng.NormFloat64()*cfg.NoiseSigma
+				i++
+			}
+		}
+	}
+	return s, nil
+}
+
+// EPGConfig controls the insect electrical-penetration-graph generator.
+type EPGConfig struct {
+	ProbeRate   float64 // probing episodes per 1000 points
+	ProbeMinLen int
+	ProbeMaxLen int
+	NoiseSigma  float64
+}
+
+// DefaultEPGConfig matches the visual character of aphid/sharpshooter EPG
+// recordings: long quiescent baseline with episodic oscillatory probing.
+func DefaultEPGConfig() EPGConfig {
+	return EPGConfig{ProbeRate: 1.2, ProbeMinLen: 80, ProbeMaxLen: 600, NoiseSigma: 0.02}
+}
+
+// EPG renders n points of insect-behaviour-like signal.
+func EPG(rng *rand.Rand, cfg EPGConfig, n int) (ts.Series, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("synth: EPG needs n > 0, got %d", n)
+	}
+	s := make(ts.Series, n)
+	baseline := 0.0
+	pProbe := cfg.ProbeRate / 1000
+	i := 0
+	for i < n {
+		if rng.Float64() < pProbe {
+			// Probing episode: oscillation whose frequency and amplitude
+			// wander, riding on a raised baseline.
+			plen := cfg.ProbeMinLen + rng.Intn(cfg.ProbeMaxLen-cfg.ProbeMinLen+1)
+			freq := jitter(rng, 4.0, 0.5)
+			amp := jitter(rng, 0.6, 0.4)
+			lift := jitter(rng, 0.5, 0.3)
+			for j := 0; j < plen && i < n; j++ {
+				x := float64(j) / float64(plen)
+				env := envelope(x)
+				s[i] = baseline + lift*env + amp*env*math.Sin(2*math.Pi*freq*x*float64(plen)/100) +
+					rng.NormFloat64()*cfg.NoiseSigma
+				i++
+			}
+			continue
+		}
+		baseline += rng.NormFloat64() * 0.001
+		s[i] = baseline + rng.NormFloat64()*cfg.NoiseSigma
+		i++
+	}
+	return s, nil
+}
+
+// EmbeddedStream is a long background stream with known copies of labeled
+// exemplars planted at annotated positions — the Appendix B deployment
+// scenario ("the exemplars inserted in between long stretches of random
+// walks").
+type EmbeddedStream struct {
+	Stream ts.Series
+	Events []EmbeddedEvent
+}
+
+// EmbeddedEvent records one planted exemplar.
+type EmbeddedEvent struct {
+	Label      int
+	Start, End int // half-open span in the stream
+}
+
+// EmbedInRandomWalk plants each exemplar (scaled to the local walk level)
+// into a smoothed random walk of total length approximately streamLen, at
+// approximately uniform spacing. Exemplars are blended in with their
+// original shape but shifted to the local baseline so the stream has no
+// artificial discontinuities (which would make detection unrealistically
+// easy — or hard — for trivial reasons).
+func EmbedInRandomWalk(rng *rand.Rand, exemplars []ts.Series, labels []int, streamLen, smoothWindow int) (*EmbeddedStream, error) {
+	if len(exemplars) == 0 {
+		return nil, fmt.Errorf("synth: EmbedInRandomWalk needs at least one exemplar")
+	}
+	if len(exemplars) != len(labels) {
+		return nil, fmt.Errorf("synth: EmbedInRandomWalk got %d exemplars but %d labels", len(exemplars), len(labels))
+	}
+	total := 0
+	for _, e := range exemplars {
+		total += len(e)
+	}
+	if streamLen < 2*total {
+		return nil, fmt.Errorf("synth: stream length %d too short for %d exemplar points", streamLen, total)
+	}
+	walk, err := SmoothedRandomWalk(rng, streamLen, smoothWindow)
+	if err != nil {
+		return nil, err
+	}
+	// Scale the walk so its local variability is comparable to exemplar
+	// amplitude; otherwise detection difficulty is an artifact of units.
+	walk = ts.ZNorm(walk)
+
+	out := &EmbeddedStream{Stream: walk}
+	gap := (streamLen - total) / (len(exemplars) + 1)
+	pos := gap
+	for i, e := range exemplars {
+		if pos+len(e) > streamLen {
+			break
+		}
+		// Jitter the position by up to a quarter gap.
+		p := pos
+		if gap > 4 {
+			p += rng.Intn(gap/2+1) - gap/4
+			p = clampInt(p, 0, streamLen-len(e))
+		}
+		base := walk[p] // local baseline
+		ze := ts.ZNorm(e)
+		for j, v := range ze {
+			walk[p+j] = base + v
+		}
+		out.Events = append(out.Events, EmbeddedEvent{Label: labels[i], Start: p, End: p + len(e)})
+		pos += gap + len(e)
+	}
+	return out, nil
+}

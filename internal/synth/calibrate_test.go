@@ -1,0 +1,58 @@
+package synth
+
+import (
+	"testing"
+
+	"etsc/internal/classify"
+)
+
+// TestGunPointCalibration is the load-bearing calibration check for the
+// whole Table 1 / Fig. 9 pipeline: the synthetic GunPoint must be (a)
+// accurately classifiable by 1NN on z-normalized data, and (b) have its
+// class information concentrated at the front, so that a short correctly
+// re-normalized prefix classifies at least as well as the full series.
+func TestGunPointCalibration(t *testing.T) {
+	rng := NewRand(42)
+	cfg := DefaultGunPointConfig()
+	d, err := GunPoint(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 150 || d.SeriesLen() != 150 {
+		t.Fatalf("dataset shape %dx%d, want 150x150", d.Len(), d.SeriesLen())
+	}
+	if !d.IsZNormalized(1e-6) {
+		t.Error("exemplars should be z-normalized")
+	}
+
+	// The paper's Table 1 algorithms score 85-95% on the real GunPoint;
+	// the generator targets the same regime (neither trivially easy nor
+	// unlearnable).
+	ev := classify.LeaveOneOut(d, classify.EuclideanDistance{})
+	t.Logf("full-length LOO 1NN accuracy: %.3f", ev.Accuracy())
+	if ev.Accuracy() < 0.82 || ev.Accuracy() > 0.99 {
+		t.Errorf("full-length accuracy %.3f outside target regime [0.82, 0.99]", ev.Accuracy())
+	}
+
+	train, test, err := d.Split(NewRand(7), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := classify.PrefixSweep(train, test, 20, 150, 10, true, classify.EuclideanDistance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, full, err := classify.BestPrefix(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		t.Logf("prefix %3d: error %.3f", p.PrefixLen, p.ErrorRate)
+	}
+	if best.PrefixLen > 60 {
+		t.Errorf("best prefix at %d; class information should be front-loaded (<= 60)", best.PrefixLen)
+	}
+	if best.ErrorRate > full.ErrorRate {
+		t.Errorf("best prefix error %.3f should be <= full-length error %.3f", best.ErrorRate, full.ErrorRate)
+	}
+}

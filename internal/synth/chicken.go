@@ -1,0 +1,214 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"etsc/internal/ts"
+)
+
+// The chicken backpack-accelerometer generator behind the paper's Fig. 8.
+// The real dataset is 12.5 billion points; this generator reproduces its
+// *bout structure* at laptop scale: long stretches of resting / walking /
+// pecking / preening with occasional stereotyped dustbathing bouts whose
+// opening vertical-shake phase is a reliable template-matchable signature.
+
+// Behavior labels for annotated chicken telemetry.
+type Behavior int
+
+// Behaviours emitted by the chicken generator.
+const (
+	Resting Behavior = iota
+	Walking
+	Pecking
+	Preening
+	Dustbathing
+)
+
+// String returns the behaviour name.
+func (b Behavior) String() string {
+	switch b {
+	case Resting:
+		return "resting"
+	case Walking:
+		return "walking"
+	case Pecking:
+		return "pecking"
+	case Preening:
+		return "preening"
+	case Dustbathing:
+		return "dustbathing"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// BehaviorInterval annotates a half-open [Start, End) span of the stream.
+type BehaviorInterval struct {
+	Behavior   Behavior
+	Start, End int
+}
+
+// ChickenConfig controls the telemetry generator. Sample rate is nominally
+// 25 Hz (a dustbathing shake phase of ~5 s is ~120 points, matching the
+// paper's template length of ~120).
+type ChickenConfig struct {
+	DustbathProb float64 // probability that the next bout is dustbathing
+	MinBout      int     // minimum bout length (points) for non-dustbathing
+	MaxBout      int     // maximum bout length for non-dustbathing
+	NoiseSigma   float64 // sensor noise
+}
+
+// DefaultChickenConfig emits a dustbathing bout roughly every 20 bouts.
+func DefaultChickenConfig() ChickenConfig {
+	return ChickenConfig{DustbathProb: 0.05, MinBout: 150, MaxBout: 1200, NoiseSigma: 0.03}
+}
+
+// DustbathingTemplateLen is the canonical template length used by Fig. 8
+// (the "Dustbathing Template" is ~120 points, its truncation ~70).
+const DustbathingTemplateLen = 120
+
+// DustbathingTemplate returns the canonical (noise-free) dustbathing
+// signature of length n: a vigorous vertical shake whose frequency chirps
+// down while its amplitude decays — the opening phase of every bout.
+func DustbathingTemplate(n int) ts.Series {
+	s := make(ts.Series, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n)
+		freq := 9.0 - 4.0*x         // chirp: fast shaking slowing down
+		amp := 1.0 * (1.0 - 0.55*x) // decaying vigour
+		phase := freq * x           // instantaneous phase ~ ∫freq
+		onset := smoothstep(x * 8)  // quick ramp-in
+		tail := 1 - smoothstep((x-0.92)/0.08)
+		s[i] = onset * tail * amp * math.Sin(2*math.Pi*phase)
+	}
+	return s
+}
+
+// dustbathingBout renders one full dustbathing bout: the stereotyped shake
+// phase (a jittered instance of the template) followed by a longer,
+// irregular wallowing phase.
+func dustbathingBout(rng *rand.Rand, cfg ChickenConfig) ts.Series {
+	// Shake phase: template with small time and amplitude jitter.
+	n := clampInt(int(jitter(rng, DustbathingTemplateLen, 0.06)), 40, 4*DustbathingTemplateLen)
+	tmpl := DustbathingTemplate(n)
+	shake := make(ts.Series, n)
+	amp := jitter(rng, 1.0, 0.10)
+	for i, v := range tmpl {
+		shake[i] = amp * v
+	}
+	// Wallow phase: medium-amplitude irregular rolling, 2 to 8 s.
+	wallowLen := 50 + rng.Intn(150)
+	wallow := make(ts.Series, wallowLen)
+	phase := rng.Float64()
+	for i := range wallow {
+		x := float64(i) / float64(wallowLen)
+		wallow[i] = 0.35*math.Sin(2*math.Pi*(3.5*x+phase)) +
+			0.2*math.Sin(2*math.Pi*(1.3*x+2.1*phase))
+	}
+	return ts.Concat(shake, wallow)
+}
+
+func restingBout(rng *rand.Rand, n int) ts.Series {
+	s := make(ts.Series, n)
+	level := rng.NormFloat64() * 0.02
+	for i := range s {
+		s[i] = level
+	}
+	return s
+}
+
+func walkingBout(rng *rand.Rand, n int) ts.Series {
+	s := make(ts.Series, n)
+	stride := jitter(rng, 2.0, 0.2) // ~2 Hz gait at 25 Hz sampling → 0.08 cycles/pt
+	phase := rng.Float64()
+	for i := range s {
+		x := float64(i) / 25.0
+		s[i] = 0.30*math.Sin(2*math.Pi*(stride*x+phase)) +
+			0.08*math.Sin(2*math.Pi*(2*stride*x+phase))
+	}
+	return s
+}
+
+func peckingBout(rng *rand.Rand, n int) ts.Series {
+	s := make(ts.Series, n)
+	i := 0
+	for i < n {
+		// Quiet gap then a sharp double-spike peck.
+		gap := 8 + rng.Intn(20)
+		for j := 0; j < gap && i < n; j++ {
+			s[i] = 0
+			i++
+		}
+		for j := 0; j < 4 && i < n; j++ {
+			sign := 1.0
+			if j%2 == 1 {
+				sign = -0.6
+			}
+			s[i] = sign * jitter(rng, 0.8, 0.2)
+			i++
+		}
+	}
+	return s
+}
+
+func preeningBout(rng *rand.Rand, n int) ts.Series {
+	s := make(ts.Series, n)
+	phase := rng.Float64()
+	f := jitter(rng, 1.1, 0.3)
+	for i := range s {
+		x := float64(i) / 25.0
+		s[i] = 0.18*math.Sin(2*math.Pi*(f*x+phase)) + 0.06*rng.NormFloat64()
+	}
+	return s
+}
+
+// ChickenStream renders an annotated accelerometer stream of at least
+// minLen points.
+func ChickenStream(rng *rand.Rand, cfg ChickenConfig, minLen int) (ts.Series, []BehaviorInterval, error) {
+	if minLen <= 0 {
+		return nil, nil, fmt.Errorf("synth: ChickenStream needs minLen > 0, got %d", minLen)
+	}
+	if cfg.MinBout <= 0 || cfg.MaxBout < cfg.MinBout {
+		return nil, nil, fmt.Errorf("synth: ChickenStream bout range invalid: [%d, %d]", cfg.MinBout, cfg.MaxBout)
+	}
+	var stream ts.Series
+	var intervals []BehaviorInterval
+	for len(stream) < minLen {
+		var b Behavior
+		var bout ts.Series
+		if rng.Float64() < cfg.DustbathProb {
+			b = Dustbathing
+			bout = dustbathingBout(rng, cfg)
+		} else {
+			n := cfg.MinBout + rng.Intn(cfg.MaxBout-cfg.MinBout+1)
+			switch rng.Intn(4) {
+			case 0:
+				b, bout = Resting, restingBout(rng, n)
+			case 1:
+				b, bout = Walking, walkingBout(rng, n)
+			case 2:
+				b, bout = Pecking, peckingBout(rng, n)
+			default:
+				b, bout = Preening, preeningBout(rng, n)
+			}
+		}
+		addNoise(rng, bout, cfg.NoiseSigma)
+		start := len(stream)
+		stream = append(stream, bout...)
+		intervals = append(intervals, BehaviorInterval{Behavior: b, Start: start, End: len(stream)})
+	}
+	return stream, intervals, nil
+}
+
+// IntervalsOf filters intervals to one behaviour.
+func IntervalsOf(intervals []BehaviorInterval, b Behavior) []BehaviorInterval {
+	var out []BehaviorInterval
+	for _, iv := range intervals {
+		if iv.Behavior == b {
+			out = append(out, iv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package synth
+
+import (
+	"testing"
+)
+
+// Every generator must be bit-for-bit reproducible for a fixed seed: the
+// whole experiment suite depends on it (EXPERIMENTS.md's reproducibility
+// section, and experiments.TestDeterminism at the integration level).
+
+func TestGunPointDeterministic(t *testing.T) {
+	a, err := GunPoint(NewRand(9), DefaultGunPointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GunPoint(NewRand(9), DefaultGunPointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Instances {
+		if a.Instances[i].Label != b.Instances[i].Label {
+			t.Fatalf("labels differ at %d", i)
+		}
+		for j := range a.Instances[i].Series {
+			if a.Instances[i].Series[j] != b.Instances[i].Series[j] {
+				t.Fatalf("values differ at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestChickenStreamDeterministic(t *testing.T) {
+	s1, iv1, err := ChickenStream(NewRand(10), DefaultChickenConfig(), 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, iv2, err := ChickenStream(NewRand(10), DefaultChickenConfig(), 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) || len(iv1) != len(iv2) {
+		t.Fatalf("shapes differ: %d/%d vs %d/%d", len(s1), len(iv1), len(s2), len(iv2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("values differ at %d", i)
+		}
+	}
+	for i := range iv1 {
+		if iv1[i] != iv2[i] {
+			t.Fatalf("intervals differ at %d", i)
+		}
+	}
+}
+
+func TestECGDeterministic(t *testing.T) {
+	a, err := ECG(NewRand(11), DefaultECGConfig(), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ECG(NewRand(11), DefaultECGConfig(), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Lead1 {
+		if a.Lead1[i] != b.Lead1[i] || a.Lead2[i] != b.Lead2[i] {
+			t.Fatalf("leads differ at %d", i)
+		}
+	}
+}
+
+func TestBackgroundsDeterministic(t *testing.T) {
+	for name, gen := range map[string]func(seed int64) ([]float64, error){
+		"eog": func(seed int64) ([]float64, error) { return EOG(NewRand(seed), DefaultEOGConfig(), 5000) },
+		"epg": func(seed int64) ([]float64, error) { return EPG(NewRand(seed), DefaultEPGConfig(), 5000) },
+		"rw":  func(seed int64) ([]float64, error) { return SmoothedRandomWalk(NewRand(seed), 5000, 8) },
+	} {
+		a, err := gen(12)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := gen(12)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s differs at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSentenceDeterministic(t *testing.T) {
+	s1, iv1, err := Sentence(NewRand(13), CathySentence, DefaultWordConfig(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, iv2, err := Sentence(NewRand(13), CathySentence, DefaultWordConfig(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("values differ at %d", i)
+		}
+	}
+	for i := range iv1 {
+		if iv1[i] != iv2[i] {
+			t.Fatalf("intervals differ at %d", i)
+		}
+	}
+}

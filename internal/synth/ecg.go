@@ -1,0 +1,163 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"etsc/internal/dataset"
+	"etsc/internal/ts"
+)
+
+// ECGConfig controls the two-lead ECG generator of Fig. 7. The paper's
+// point is that *raw* ECG telemetry shows dramatic but medically
+// meaningless variation in the per-beat mean (lead 1: baseline wander) and
+// per-beat standard deviation (lead 2: amplitude modulation from
+// respiration and electrode contact) — variation the UCR formatting step
+// removes by z-normalizing each extracted beat, and which no streaming
+// early classifier gets to remove because the beat has not finished yet.
+type ECGConfig struct {
+	SampleRate    int     // Hz (paper's beats are ~0.5 s long)
+	BeatPeriodSec float64 // nominal seconds per beat
+	PeriodJitter  float64 // relative beat-to-beat period jitter
+	BaselineAmp   float64 // lead-1 baseline wander amplitude (in R units)
+	BaselineFreq  float64 // baseline wander frequency, Hz
+	BeatJumpSigma float64 // lead-1 per-beat baseline jump (electrode shifts)
+	AmplitudeAmp  float64 // lead-2 amplitude modulation depth (0..1)
+	AmplitudeFreq float64 // amplitude modulation frequency, Hz
+	NoiseSigma    float64 // sensor noise
+	STElevation   float64 // ST-segment elevation for abnormal beats (R units)
+}
+
+// DefaultECGConfig produces beats of ~0.5 s at 250 Hz, matching the paper's
+// "the full ECG beats in question are about 0.5 seconds long".
+func DefaultECGConfig() ECGConfig {
+	return ECGConfig{
+		SampleRate:    250,
+		BeatPeriodSec: 0.5,
+		PeriodJitter:  0.04,
+		BaselineAmp:   0.45,
+		BaselineFreq:  0.23, // slow respiration-scale wander
+		BeatJumpSigma: 0.35, // electrode-contact shifts between beats
+		AmplitudeAmp:  0.40,
+		AmplitudeFreq: 0.31,
+		NoiseSigma:    0.01,
+		STElevation:   0.18,
+	}
+}
+
+// BeatLen returns the nominal beat length in samples.
+func (c ECGConfig) BeatLen() int {
+	return int(math.Round(c.BeatPeriodSec * float64(c.SampleRate)))
+}
+
+// ecgBeatShape renders one canonical beat of length n in R-peak units:
+// P wave, QRS complex, ST segment, T wave. If stElev > 0 the ST segment is
+// elevated (the myocardial-infarction signature the paper quotes from [20]).
+func ecgBeatShape(n int, stElev float64) ts.Series {
+	s := make(ts.Series, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n) // 0..1 across the beat
+		v := 0.0
+		v += gaussianBump(x, 0.18, 0.035, 0.14)  // P wave
+		v += gaussianBump(x, 0.36, 0.012, -0.18) // Q dip
+		v += gaussianBump(x, 0.40, 0.014, 1.00)  // R peak
+		v += gaussianBump(x, 0.44, 0.013, -0.28) // S dip
+		v += gaussianBump(x, 0.70, 0.055, 0.32)  // T wave
+		if stElev > 0 && x > 0.46 && x < 0.62 {
+			v += stElev * envelope((x-0.46)/0.16)
+		}
+		s[i] = v
+	}
+	return s
+}
+
+// ECGStream is a rendered two-lead recording plus beat annotations.
+type ECGStream struct {
+	Lead1, Lead2 ts.Series // lead 1: baseline wander; lead 2: amplitude wander
+	BeatStart    []int     // start index of each beat
+	BeatLen      []int     // length of each beat
+	Abnormal     []bool    // whether each beat carries the ST elevation
+}
+
+// ECG renders nBeats consecutive beats on two leads. abnormalEvery > 0 makes
+// every k-th beat ST-elevated (0 disables abnormal beats).
+func ECG(rng *rand.Rand, cfg ECGConfig, nBeats, abnormalEvery int) (*ECGStream, error) {
+	if nBeats <= 0 {
+		return nil, fmt.Errorf("synth: ECG needs nBeats > 0, got %d", nBeats)
+	}
+	nominal := cfg.BeatLen()
+	if nominal < 20 {
+		return nil, fmt.Errorf("synth: ECG beat length %d too short; raise SampleRate or BeatPeriodSec", nominal)
+	}
+	out := &ECGStream{}
+	t := 0 // running sample index
+	phase1 := rng.Float64()
+	phase2 := rng.Float64()
+	for b := 0; b < nBeats; b++ {
+		bl := nominal
+		if cfg.PeriodJitter > 0 {
+			bl = clampInt(int(jitter(rng, float64(nominal), cfg.PeriodJitter)), 20, 4*nominal)
+		}
+		abnormal := abnormalEvery > 0 && b%abnormalEvery == abnormalEvery-1
+		st := 0.0
+		if abnormal {
+			st = cfg.STElevation
+		}
+		beat := ecgBeatShape(bl, st)
+		out.BeatStart = append(out.BeatStart, t)
+		out.BeatLen = append(out.BeatLen, bl)
+		out.Abnormal = append(out.Abnormal, abnormal)
+		jump := rng.NormFloat64() * cfg.BeatJumpSigma
+		for i := 0; i < bl; i++ {
+			sec := float64(t+i) / float64(cfg.SampleRate)
+			baseline := cfg.BaselineAmp*math.Sin(2*math.Pi*(cfg.BaselineFreq*sec+phase1)) + jump
+			ampMod := 1 + cfg.AmplitudeAmp*math.Sin(2*math.Pi*(cfg.AmplitudeFreq*sec+phase2))
+			l1 := beat[i] + baseline + rng.NormFloat64()*cfg.NoiseSigma
+			l2 := beat[i]*ampMod + rng.NormFloat64()*cfg.NoiseSigma
+			out.Lead1 = append(out.Lead1, l1)
+			out.Lead2 = append(out.Lead2, l2)
+		}
+		t += bl
+	}
+	return out, nil
+}
+
+// Beats extracts the individual beats of the given lead (1 or 2), optionally
+// resampled to a fixed length and z-normalized — the "contrived into the
+// UCR data format" step of Fig. 7.
+func (e *ECGStream) Beats(lead, length int, znorm bool) (*dataset.Dataset, error) {
+	var src ts.Series
+	switch lead {
+	case 1:
+		src = e.Lead1
+	case 2:
+		src = e.Lead2
+	default:
+		return nil, fmt.Errorf("synth: ECG lead must be 1 or 2, got %d", lead)
+	}
+	var instances []dataset.Instance
+	for i, start := range e.BeatStart {
+		end := start + e.BeatLen[i]
+		if end > len(src) {
+			end = len(src)
+		}
+		beat := src[start:end].Clone()
+		if length > 0 && len(beat) != length {
+			r, err := ts.Resample(beat, length)
+			if err != nil {
+				return nil, err
+			}
+			beat = r
+		}
+		if znorm {
+			beat = ts.ZNorm(beat)
+		}
+		label := 1
+		if e.Abnormal[i] {
+			label = 2
+		}
+		instances = append(instances, dataset.Instance{Label: label, Series: beat})
+	}
+	return dataset.New(fmt.Sprintf("ECGLead%d", lead), instances)
+}

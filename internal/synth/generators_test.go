@@ -1,0 +1,294 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"etsc/internal/stats"
+	"etsc/internal/ts"
+)
+
+func TestECGStructure(t *testing.T) {
+	rng := NewRand(1)
+	cfg := DefaultECGConfig()
+	e, err := ECG(rng, cfg, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.BeatStart) != 20 {
+		t.Fatalf("%d beats, want 20", len(e.BeatStart))
+	}
+	if len(e.Lead1) != len(e.Lead2) {
+		t.Error("leads have different lengths")
+	}
+	// Beats tile the recording.
+	for i := 1; i < len(e.BeatStart); i++ {
+		if e.BeatStart[i] != e.BeatStart[i-1]+e.BeatLen[i-1] {
+			t.Errorf("beat %d not contiguous", i)
+		}
+	}
+	// Every 4th beat abnormal.
+	nAb := 0
+	for _, a := range e.Abnormal {
+		if a {
+			nAb++
+		}
+	}
+	if nAb != 5 {
+		t.Errorf("%d abnormal beats, want 5", nAb)
+	}
+}
+
+func TestECGBeatsDataset(t *testing.T) {
+	rng := NewRand(2)
+	e, err := ECG(rng, DefaultECGConfig(), 24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Beats(1, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 24 || d.SeriesLen() != 100 {
+		t.Fatalf("shape %dx%d", d.Len(), d.SeriesLen())
+	}
+	if !d.IsZNormalized(1e-6) {
+		t.Error("znorm=true should produce z-normalized beats")
+	}
+	counts := d.ClassCounts()
+	if counts[2] != 8 {
+		t.Errorf("abnormal count %d, want 8", counts[2])
+	}
+	if _, err := e.Beats(3, 100, true); err == nil {
+		t.Error("lead 3 should error")
+	}
+}
+
+func TestECGBaselineWanderIsRealized(t *testing.T) {
+	rng := NewRand(3)
+	e, err := ECG(rng, DefaultECGConfig(), 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var means []float64
+	for i, start := range e.BeatStart {
+		means = append(means, ts.Mean(e.Lead1[start:start+e.BeatLen[i]]))
+	}
+	s, err := stats.Describe(means)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Max-s.Min < 0.3 {
+		t.Errorf("per-beat mean spread %v too small; Fig 7 needs dramatic wander", s.Max-s.Min)
+	}
+}
+
+func TestECGErrors(t *testing.T) {
+	if _, err := ECG(NewRand(1), DefaultECGConfig(), 0, 0); err == nil {
+		t.Error("zero beats should error")
+	}
+	cfg := DefaultECGConfig()
+	cfg.SampleRate = 10 // beat too short
+	if _, err := ECG(NewRand(1), cfg, 5, 0); err == nil {
+		t.Error("too-short beats should error")
+	}
+}
+
+func TestChickenStreamAnnotations(t *testing.T) {
+	rng := NewRand(4)
+	cfg := DefaultChickenConfig()
+	cfg.DustbathProb = 0.2
+	data, intervals, err := ChickenStream(rng, cfg, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 50_000 {
+		t.Errorf("stream length %d < requested", len(data))
+	}
+	prevEnd := 0
+	for i, iv := range intervals {
+		if iv.Start != prevEnd {
+			t.Errorf("interval %d not contiguous: start %d, prev end %d", i, iv.Start, prevEnd)
+		}
+		if iv.End <= iv.Start {
+			t.Errorf("interval %d empty", i)
+		}
+		prevEnd = iv.End
+	}
+	if prevEnd != len(data) {
+		t.Errorf("intervals end at %d, stream %d", prevEnd, len(data))
+	}
+	dust := IntervalsOf(intervals, Dustbathing)
+	if len(dust) == 0 {
+		t.Error("no dustbathing bouts at probability 0.2")
+	}
+}
+
+func TestChickenStreamErrors(t *testing.T) {
+	if _, _, err := ChickenStream(NewRand(1), DefaultChickenConfig(), 0); err == nil {
+		t.Error("zero length should error")
+	}
+	bad := DefaultChickenConfig()
+	bad.MaxBout = bad.MinBout - 1
+	if _, _, err := ChickenStream(NewRand(1), bad, 100); err == nil {
+		t.Error("invalid bout range should error")
+	}
+}
+
+func TestDustbathingTemplateMatchesBouts(t *testing.T) {
+	// The canonical template must match the shake phase of generated
+	// bouts under z-normalized ED.
+	rng := NewRand(5)
+	cfg := DefaultChickenConfig()
+	bout := dustbathingBout(rng, cfg)
+	tmpl := DustbathingTemplate(DustbathingTemplateLen)
+	m, err := ts.BestMatch(tmpl, bout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dist > 3 {
+		t.Errorf("template distance to a generated bout %v; should be a close match", m.Dist)
+	}
+	if m.Start > 20 {
+		t.Errorf("best match at %d; the shake phase opens the bout", m.Start)
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	names := map[Behavior]string{
+		Resting: "resting", Walking: "walking", Pecking: "pecking",
+		Preening: "preening", Dustbathing: "dustbathing",
+	}
+	for b, want := range names {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q", b, b.String())
+		}
+	}
+	if Behavior(42).String() == "" {
+		t.Error("unknown behaviour should render")
+	}
+}
+
+func TestSmoothedRandomWalk(t *testing.T) {
+	rng := NewRand(6)
+	w, err := SmoothedRandomWalk(rng, 10_000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 10_000 {
+		t.Fatalf("length %d", len(w))
+	}
+	// Smoothing bounds the step size relative to the raw walk.
+	maxStep := 0.0
+	for i := 1; i < len(w); i++ {
+		if d := math.Abs(w[i] - w[i-1]); d > maxStep {
+			maxStep = d
+		}
+	}
+	if maxStep > 1.5 {
+		t.Errorf("max step %v; window-16 smoothing should damp increments", maxStep)
+	}
+	if _, err := SmoothedRandomWalk(rng, 0, 4); err == nil {
+		t.Error("zero length should error")
+	}
+}
+
+func TestEOGHasSaccadesAndBlinks(t *testing.T) {
+	rng := NewRand(7)
+	e, err := EOG(rng, DefaultEOGConfig(), 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e) != 50_000 {
+		t.Fatalf("length %d", len(e))
+	}
+	lo, hi := ts.MinMax(e)
+	if hi-lo < 1 {
+		t.Errorf("range %v; saccades and blinks should move the signal", hi-lo)
+	}
+	if _, err := EOG(rng, DefaultEOGConfig(), 0); err == nil {
+		t.Error("zero length should error")
+	}
+}
+
+func TestEPGHasProbingEpisodes(t *testing.T) {
+	rng := NewRand(8)
+	e, err := EPG(rng, DefaultEPGConfig(), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiescent baseline has low variance; probing raises it. Check the
+	// signal is not all-quiet.
+	_, std := ts.MeanStd(e)
+	if std < 0.05 {
+		t.Errorf("std %v; probing episodes missing", std)
+	}
+	if _, err := EPG(rng, DefaultEPGConfig(), -1); err == nil {
+		t.Error("negative length should error")
+	}
+}
+
+func TestEmbedInRandomWalk(t *testing.T) {
+	rng := NewRand(9)
+	ex := make(ts.Series, 100)
+	for i := range ex {
+		ex[i] = math.Sin(float64(i) / 5)
+	}
+	es, err := EmbedInRandomWalk(rng, []ts.Series{ex, ex, ex}, []int{1, 2, 1}, 10_000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es.Events) != 3 {
+		t.Fatalf("%d events, want 3", len(es.Events))
+	}
+	for i, ev := range es.Events {
+		if ev.End-ev.Start != 100 {
+			t.Errorf("event %d span %d", i, ev.End-ev.Start)
+		}
+		if ev.Start < 0 || ev.End > len(es.Stream) {
+			t.Errorf("event %d out of bounds", i)
+		}
+		// The planted copy must be findable under z-normalized ED.
+		m, err := ts.BestMatch(ex, es.Stream[maxInt0(ev.Start-50):minInt0(ev.End+50, len(es.Stream))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Dist > 0.5 {
+			t.Errorf("event %d: planted copy distance %v", i, m.Dist)
+		}
+	}
+	// Events are disjoint and ordered.
+	for i := 1; i < len(es.Events); i++ {
+		if es.Events[i].Start < es.Events[i-1].End {
+			t.Error("events overlap")
+		}
+	}
+}
+
+func TestEmbedInRandomWalkErrors(t *testing.T) {
+	rng := NewRand(10)
+	ex := make(ts.Series, 100)
+	if _, err := EmbedInRandomWalk(rng, nil, nil, 1000, 4); err == nil {
+		t.Error("no exemplars should error")
+	}
+	if _, err := EmbedInRandomWalk(rng, []ts.Series{ex}, []int{1, 2}, 1000, 4); err == nil {
+		t.Error("label count mismatch should error")
+	}
+	if _, err := EmbedInRandomWalk(rng, []ts.Series{ex}, []int{1}, 150, 4); err == nil {
+		t.Error("too-short stream should error")
+	}
+}
+
+func maxInt0(a int) int {
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+func minInt0(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"etsc/internal/dataset"
+	"etsc/internal/ts"
+)
+
+// GunPointConfig controls the GunPoint-like gesture generator.
+//
+// The paper (§5) explains how the real GunPoint dataset was made: a
+// metronome beeped every five seconds and the actors were told "wait about a
+// second, do the behavior for about two seconds, then return your hand to
+// the side for the remaining time". Consequently (a) the discriminative
+// information — the fumble of drawing the gun from the holster — sits at the
+// *beginning* of the action, and (b) the last one-to-two seconds are a
+// non-informative constant region padded on just to make all exemplars the
+// same length. This generator reproduces exactly that anatomy.
+type GunPointConfig struct {
+	Length       int     // exemplar length (UCR GunPoint: 150)
+	RestLead     int     // idle points before the action starts (nominal)
+	FumbleLen    int     // length of the class-discriminating fumble (Gun class only)
+	RaiseLen     int     // length of the smooth arm raise
+	HoldLen      int     // length of the aiming hold
+	LowerLen     int     // length of the arm lowering
+	TimeJitter   int     // max ± jitter, in points, of the action onset
+	NoiseSigma   float64 // measurement noise added to hand-tracking signal
+	TremorSigma  float64 // tremor during the aiming hold
+	DriftSigma   float64 // slow per-exemplar baseline drift amplitude in the tail
+	ZNormalize   bool    // apply the UCR-archive z-normalization convention
+	LabelGun     int     // label for the Gun class
+	LabelPoint   int     // label for the Point class
+	PerClassSize int     // exemplars per class
+}
+
+// DefaultGunPointConfig mirrors the real dataset's dimensions: length 150,
+// action ending well before the exemplar does.
+func DefaultGunPointConfig() GunPointConfig {
+	return GunPointConfig{
+		Length:       150,
+		RestLead:     12,
+		FumbleLen:    18,
+		RaiseLen:     18,
+		HoldLen:      30,
+		LowerLen:     18,
+		TimeJitter:   7,
+		NoiseSigma:   0.045,
+		TremorSigma:  0.03,
+		DriftSigma:   0.16,
+		ZNormalize:   true,
+		LabelGun:     1,
+		LabelPoint:   2,
+		PerClassSize: 75,
+	}
+}
+
+// GunPointExemplar renders one exemplar of the given class (true = Gun,
+// false = Point) in raw, pre-normalization units: the vertical position of
+// the centre of mass of the actor's right hand, resting level 0, raised
+// level ~1.
+func GunPointExemplar(rng *rand.Rand, cfg GunPointConfig, gun bool) ts.Series {
+	s := make(ts.Series, cfg.Length)
+	onset := cfg.RestLead
+	if cfg.TimeJitter > 0 {
+		onset += rng.Intn(2*cfg.TimeJitter+1) - cfg.TimeJitter
+	}
+	onset = clampInt(onset, 0, cfg.Length/4)
+
+	raised := jitter(rng, 1.0, 0.05) // per-actor raised-arm height
+	pos := onset
+
+	// Fumble: only the Gun class reaches down to the holster and wrestles
+	// the prop out — a dip below rest followed by two quick oscillations.
+	// This is the region the paper's Fig. 9 annotates "gun being removed
+	// from holster"; it is all the classifier ever needs.
+	if gun {
+		fl := cfg.FumbleLen
+		for i := 0; i < fl && pos < cfg.Length; i++ {
+			x := float64(i) / float64(fl) // 0..1 across the fumble
+			dip := gaussianBump(x, 0.25, 0.12, -0.16*raised)
+			wiggle := 0.07 * raised * sinePulse(x, 2.6) * envelope(x)
+			s[pos] = dip + wiggle
+			pos++
+		}
+	} else {
+		// The Point class pauses fractionally (actors were slower to start
+		// when not handling a prop) — a short flat lead-in of about half
+		// the fumble duration with a faint anticipatory rise.
+		fl := cfg.FumbleLen / 2
+		for i := 0; i < fl && pos < cfg.Length; i++ {
+			x := float64(i) / float64(fl)
+			s[pos] = 0.03 * raised * x * x
+			pos++
+		}
+	}
+
+	// Raise: smooth sigmoid ascent to the aiming position.
+	rl := int(jitter(rng, float64(cfg.RaiseLen), 0.1))
+	start := 0.0
+	if pos > 0 {
+		start = s[pos-1]
+	}
+	for i := 0; i < rl && pos < cfg.Length; i++ {
+		x := float64(i) / float64(rl)
+		s[pos] = start + (raised-start)*smoothstep(x)
+		pos++
+	}
+
+	// Hold: aiming with physiological tremor. The Gun class carries mass,
+	// so its tremor is very slightly larger — but this is far weaker than
+	// the fumble signature and (by design) nearly class-uninformative.
+	hl := int(jitter(rng, float64(cfg.HoldLen), 0.1))
+	tremor := cfg.TremorSigma
+	if gun {
+		tremor *= 1.15
+	}
+	for i := 0; i < hl && pos < cfg.Length; i++ {
+		s[pos] = raised + rng.NormFloat64()*tremor
+		pos++
+	}
+
+	// Lower: sigmoid descent back to rest.
+	ll := int(jitter(rng, float64(cfg.LowerLen), 0.1))
+	for i := 0; i < ll && pos < cfg.Length; i++ {
+		x := float64(i) / float64(ll)
+		s[pos] = raised * (1 - smoothstep(x))
+		pos++
+	}
+
+	// Tail: the metronome padding — hand at the side, nothing happening.
+	// A slow per-exemplar drift (posture sway) makes the tail pure noise
+	// from the classifier's point of view, which is what produces the
+	// Fig. 9 phenomenon: adding the tail *hurts* accuracy.
+	driftAmp := rng.NormFloat64() * cfg.DriftSigma
+	driftPhase := rng.Float64()
+	tailStart := pos
+	for ; pos < cfg.Length; pos++ {
+		x := float64(pos-tailStart) / float64(cfg.Length-tailStart+1)
+		s[pos] = driftAmp * sinePulse(0.5*x+driftPhase, 1)
+	}
+
+	addNoise(rng, s, cfg.NoiseSigma)
+	if cfg.ZNormalize {
+		return ts.ZNorm(s)
+	}
+	return s
+}
+
+// GunPoint generates a full UCR-format GunPoint-like dataset with
+// cfg.PerClassSize exemplars per class, interleaved Gun/Point.
+func GunPoint(rng *rand.Rand, cfg GunPointConfig) (*dataset.Dataset, error) {
+	if cfg.Length <= 0 || cfg.PerClassSize <= 0 {
+		return nil, fmt.Errorf("synth: GunPoint needs positive Length and PerClassSize, got %d, %d",
+			cfg.Length, cfg.PerClassSize)
+	}
+	instances := make([]dataset.Instance, 0, 2*cfg.PerClassSize)
+	for i := 0; i < cfg.PerClassSize; i++ {
+		instances = append(instances,
+			dataset.Instance{Label: cfg.LabelGun, Series: GunPointExemplar(rng, cfg, true)},
+			dataset.Instance{Label: cfg.LabelPoint, Series: GunPointExemplar(rng, cfg, false)},
+		)
+	}
+	return dataset.New("GunPointSynthetic", instances)
+}
+
+// sinePulse evaluates sin(2π·f·x).
+func sinePulse(x, f float64) float64 {
+	return math.Sin(2 * math.Pi * f * x)
+}
+
+// smoothstep is the C¹ smooth 0→1 step on x in [0,1].
+func smoothstep(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	return x * x * (3 - 2*x)
+}
+
+// envelope is a raised-cosine window on [0,1], zero at the ends.
+func envelope(x float64) float64 {
+	if x <= 0 || x >= 1 {
+		return 0
+	}
+	return 0.5 * (1 - math.Cos(2*math.Pi*x))
+}

@@ -1,0 +1,434 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"etsc/internal/dataset"
+	"etsc/internal/ts"
+)
+
+// The word synthesizer renders spoken words as one-dimensional time series
+// (standing in for the paper's "MFCC Coefficient 2" representation) by
+// concatenating per-phoneme waveforms. Compositionality is the point: the
+// rendering of "catalog" *begins with* the rendering of "cat", the rendering
+// of "ballpoint" *contains* the rendering of "point", and "flour"/"flower"
+// share the identical phoneme sequence — which is precisely the structure
+// behind the paper's prefix, inclusion and homophone problems.
+
+// Phoneme identifies one unit of the synthesizer's inventory.
+type Phoneme string
+
+// phonemeSpec defines the deterministic waveform of one phoneme: a sum of
+// two sinusoids with an amplitude envelope, rendered over a nominal
+// duration. Specs are fixed constants so that every utterance of a word has
+// the same underlying shape (up to jitter and noise).
+type phonemeSpec struct {
+	dur  int     // nominal duration in points
+	f1   float64 // primary frequency (cycles over the phoneme)
+	f2   float64 // secondary frequency
+	a1   float64 // primary amplitude
+	a2   float64 // secondary amplitude
+	bias float64 // DC offset (formant height proxy)
+}
+
+// phonemeInventory is the fixed phoneme inventory. Values were chosen so
+// that distinct phonemes have visibly distinct waveforms while remaining
+// smooth enough to resemble a low-order MFCC coefficient track.
+var phonemeInventory = map[Phoneme]phonemeSpec{
+	"K":  {dur: 14, f1: 3.0, f2: 7.0, a1: 0.55, a2: 0.25, bias: 0.35},
+	"AE": {dur: 22, f1: 1.0, f2: 2.5, a1: 0.90, a2: 0.20, bias: -0.25},
+	"T":  {dur: 12, f1: 4.0, f2: 9.0, a1: 0.45, a2: 0.30, bias: 0.55},
+	"D":  {dur: 13, f1: 3.5, f2: 6.0, a1: 0.50, a2: 0.22, bias: -0.50},
+	"AO": {dur: 22, f1: 0.8, f2: 2.0, a1: 0.95, a2: 0.18, bias: 0.15},
+	"G":  {dur: 14, f1: 2.8, f2: 5.5, a1: 0.60, a2: 0.28, bias: -0.40},
+	"AH": {dur: 18, f1: 1.2, f2: 3.0, a1: 0.75, a2: 0.15, bias: 0.05},
+	"L":  {dur: 16, f1: 1.5, f2: 4.0, a1: 0.55, a2: 0.20, bias: 0.30},
+	"IH": {dur: 16, f1: 1.8, f2: 4.5, a1: 0.65, a2: 0.18, bias: -0.15},
+	"IY": {dur: 18, f1: 2.0, f2: 5.0, a1: 0.70, a2: 0.15, bias: -0.30},
+	"EH": {dur: 17, f1: 1.4, f2: 3.5, a1: 0.70, a2: 0.18, bias: 0.10},
+	"ER": {dur: 19, f1: 1.1, f2: 2.8, a1: 0.60, a2: 0.25, bias: 0.40},
+	"Z":  {dur: 13, f1: 5.0, f2: 11.0, a1: 0.35, a2: 0.30, bias: 0.00},
+	"S":  {dur: 13, f1: 5.5, f2: 12.0, a1: 0.30, a2: 0.32, bias: 0.20},
+	"M":  {dur: 15, f1: 1.0, f2: 2.2, a1: 0.40, a2: 0.12, bias: -0.60},
+	"N":  {dur: 15, f1: 1.1, f2: 2.4, a1: 0.42, a2: 0.12, bias: 0.60},
+	"NG": {dur: 16, f1: 0.9, f2: 2.0, a1: 0.45, a2: 0.14, bias: -0.65},
+	"P":  {dur: 12, f1: 3.8, f2: 8.0, a1: 0.50, a2: 0.26, bias: 0.45},
+	"B":  {dur: 13, f1: 3.2, f2: 6.5, a1: 0.52, a2: 0.24, bias: -0.45},
+	"F":  {dur: 13, f1: 4.5, f2: 10.0, a1: 0.32, a2: 0.28, bias: 0.25},
+	"W":  {dur: 15, f1: 0.9, f2: 2.1, a1: 0.58, a2: 0.16, bias: -0.20},
+	"TH": {dur: 13, f1: 4.2, f2: 9.5, a1: 0.34, a2: 0.26, bias: -0.10},
+	"AY": {dur: 24, f1: 0.7, f2: 1.8, a1: 1.00, a2: 0.22, bias: -0.05},
+	"EY": {dur: 23, f1: 0.9, f2: 2.2, a1: 0.92, a2: 0.20, bias: 0.20},
+	"OY": {dur: 24, f1: 0.8, f2: 1.9, a1: 0.95, a2: 0.24, bias: -0.35},
+	"AW": {dur: 24, f1: 0.6, f2: 1.6, a1: 0.98, a2: 0.20, bias: 0.25},
+	"V":  {dur: 13, f1: 3.6, f2: 7.5, a1: 0.38, a2: 0.24, bias: -0.25},
+	"R":  {dur: 16, f1: 1.3, f2: 3.2, a1: 0.55, a2: 0.22, bias: 0.50},
+	"UH": {dur: 17, f1: 1.0, f2: 2.6, a1: 0.72, a2: 0.16, bias: -0.55},
+	"OW": {dur: 22, f1: 0.7, f2: 1.7, a1: 0.90, a2: 0.18, bias: 0.45},
+}
+
+// Lexicon maps words to phoneme sequences. Homophones (flower/flour,
+// wither/whither, gunn/gun, pointe/point) map to identical sequences on
+// purpose: the time series representation cannot distinguish them, which is
+// the paper's §3.3 homophone problem.
+var Lexicon = map[string][]Phoneme{
+	// The cat/dog family (Figs. 1 and 2).
+	"cat":        {"K", "AE", "T"},
+	"dog":        {"D", "AO", "G"},
+	"catalog":    {"K", "AE", "T", "AH", "L", "AO", "G"},
+	"cattle":     {"K", "AE", "T", "L"},
+	"cathys":     {"K", "AE", "TH", "IY", "Z"},
+	"catechism":  {"K", "AE", "T", "EH", "K", "IH", "Z", "M"},
+	"catholic":   {"K", "AE", "TH", "L", "IH", "K"},
+	"dogmatic":   {"D", "AO", "G", "M", "AE", "T", "IH", "K"},
+	"dogmatized": {"D", "AO", "G", "M", "AH", "T", "AY", "Z", "D"},
+	"doggery":    {"D", "AO", "G", "ER", "IY"},
+	"doggedness": {"D", "AO", "G", "IH", "D", "N", "EH", "S"},
+
+	// The lightweight/paperweight family (§3.2 inclusion problem).
+	"light":       {"L", "AY", "T"},
+	"lightweight": {"L", "AY", "T", "W", "EY", "T"},
+	"paper":       {"P", "EY", "P", "ER"},
+	"paperweight": {"P", "EY", "P", "ER", "W", "EY", "T"},
+	"papercut":    {"P", "EY", "P", "ER", "K", "AH", "T"},
+	"weight":      {"W", "EY", "T"},
+
+	// The gun/point family (§3.1, §3.2, §3.4).
+	"gun":           {"G", "AH", "N"},
+	"gunk":          {"G", "AH", "N", "K"},
+	"gunn":          {"G", "AH", "N"}, // homophone of gun
+	"begun":         {"B", "IH", "G", "AH", "N"},
+	"burgundy":      {"B", "ER", "G", "AH", "N", "D", "IY"},
+	"point":         {"P", "OY", "N", "T"},
+	"pointe":        {"P", "OY", "N", "T"}, // homophone of point
+	"pointless":     {"P", "OY", "N", "T", "L", "EH", "S"},
+	"appointment":   {"AH", "P", "OY", "N", "T", "M", "EH", "N", "T"},
+	"ballpoints":    {"B", "AO", "L", "P", "OY", "N", "T", "S"},
+	"disappointing": {"D", "IH", "S", "AH", "P", "OY", "N", "T", "IH", "NG"},
+
+	// The flower/wither family (§3.3 homophone problem).
+	"flower":      {"F", "L", "AW", "ER"},
+	"flour":       {"F", "L", "AW", "ER"}, // homophone of flower
+	"wither":      {"W", "IH", "TH", "ER"},
+	"whither":     {"W", "IH", "TH", "ER"}, // homophone of wither
+	"flowerpot":   {"F", "L", "AW", "ER", "P", "AH", "T"},
+	"witheringly": {"W", "IH", "TH", "ER", "IH", "NG", "L", "IY"},
+
+	// Filler words for sentence construction.
+	"it":        {"IH", "T"},
+	"was":       {"W", "AH", "Z"},
+	"said":      {"S", "EH", "D"},
+	"that":      {"TH", "AE", "T"},
+	"the":       {"TH", "UH"},
+	"a":         {"AH"},
+	"in":        {"IH", "N"},
+	"i":         {"AY"},
+	"could":     {"K", "UH", "D"},
+	"see":       {"S", "IY"},
+	"got":       {"G", "AH", "T"},
+	"from":      {"F", "R", "AH", "M"},
+	"morning":   {"M", "AO", "R", "N", "IH", "NG"},
+	"to":        {"T", "UH"},
+	"go":        {"G", "OW"},
+	"on":        {"AH", "N"},
+	"before":    {"B", "IH", "F", "AO", "R"},
+	"she":       {"S", "IY", "UH"},
+	"had":       {"TH", "AE", "D"},
+	"her":       {"TH", "ER"},
+	"amy":       {"EY", "M", "IY"},
+	"thought":   {"TH", "AO", "T"},
+	"get":       {"G", "EH", "T"},
+	"ballet":    {"B", "AE", "L", "EY"},
+	"shoes":     {"S", "UH", "Z"},
+	"cleaned":   {"K", "L", "IY", "N", "D"},
+	"of":        {"AH", "V"},
+	"off":       {"AO", "F"},
+	"all":       {"AO", "L"},
+	"grain":     {"G", "R", "EY", "N"},
+	"offering":  {"AO", "F", "ER", "IH", "NG"},
+	"as":        {"AE", "Z"},
+	"an":        {"AE", "N"},
+	"lord":      {"L", "AO", "R", "D"},
+	"his":       {"TH", "IH", "Z"},
+	"shall":     {"S", "AE", "L"},
+	"be":        {"B", "IY"},
+	"fine":      {"F", "AY", "N"},
+	"anyone":    {"EH", "N", "IY", "W", "AH", "N"},
+	"presents":  {"P", "R", "EH", "Z", "EH", "N", "T", "S"},
+	"wrapped":   {"R", "AE", "P", "T"},
+	"and":       {"AE", "N", "D"},
+	"her_shoes": {"TH", "ER", "S", "UH", "Z"},
+}
+
+// WordConfig controls utterance rendering.
+type WordConfig struct {
+	DurJitter   float64 // relative jitter of each phoneme's duration
+	AmpJitter   float64 // relative jitter of each phoneme's amplitude
+	NoiseSigma  float64 // additive sample noise
+	SpeakerRate float64 // global duration multiplier (1 = nominal)
+}
+
+// DefaultWordConfig returns rendering parameters giving clearly classifiable
+// but non-identical utterances.
+func DefaultWordConfig() WordConfig {
+	return WordConfig{DurJitter: 0.12, AmpJitter: 0.10, NoiseSigma: 0.03, SpeakerRate: 1.0}
+}
+
+// PhonemeWave renders one phoneme deterministically at its nominal duration
+// scaled by rate, with optional duration/amplitude jitter from rng
+// (rng may be nil for the canonical rendering).
+func PhonemeWave(rng *rand.Rand, p Phoneme, cfg WordConfig) (ts.Series, error) {
+	spec, ok := phonemeInventory[p]
+	if !ok {
+		return nil, fmt.Errorf("synth: unknown phoneme %q", p)
+	}
+	dur := float64(spec.dur) * cfg.SpeakerRate
+	amp1, amp2 := spec.a1, spec.a2
+	if rng != nil {
+		dur = jitter(rng, dur, cfg.DurJitter)
+		amp1 = jitter(rng, amp1, cfg.AmpJitter)
+		amp2 = jitter(rng, amp2, cfg.AmpJitter)
+	}
+	n := clampInt(int(math.Round(dur)), 4, 80)
+	out := make(ts.Series, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n) // 0..1 across the phoneme
+		env := envelope(0.1 + 0.8*x) // soft onset/offset
+		out[i] = spec.bias*env +
+			amp1*env*math.Sin(2*math.Pi*spec.f1*x) +
+			amp2*env*math.Sin(2*math.Pi*spec.f2*x)
+	}
+	return out, nil
+}
+
+// Utterance renders one utterance of word (which must be in Lexicon) by
+// concatenating its phoneme waves with short coarticulation cross-fades.
+func Utterance(rng *rand.Rand, word string, cfg WordConfig) (ts.Series, error) {
+	phonemes, ok := Lexicon[word]
+	if !ok {
+		return nil, fmt.Errorf("synth: word %q not in lexicon", word)
+	}
+	var out ts.Series
+	for _, p := range phonemes {
+		w, err := PhonemeWave(rng, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = crossFade(out, w, 3)
+	}
+	if rng != nil {
+		addNoise(rng, out, cfg.NoiseSigma)
+	}
+	return out, nil
+}
+
+// crossFade appends b to a, linearly blending the last `overlap` points of a
+// with the first `overlap` points of b for phoneme coarticulation.
+func crossFade(a, b ts.Series, overlap int) ts.Series {
+	if len(a) == 0 {
+		return b
+	}
+	if overlap > len(a) {
+		overlap = len(a)
+	}
+	if overlap > len(b) {
+		overlap = len(b)
+	}
+	out := make(ts.Series, 0, len(a)+len(b)-overlap)
+	out = append(out, a[:len(a)-overlap]...)
+	for i := 0; i < overlap; i++ {
+		t := float64(i+1) / float64(overlap+1)
+		out = append(out, a[len(a)-overlap+i]*(1-t)+b[i]*t)
+	}
+	out = append(out, b[overlap:]...)
+	return out
+}
+
+// WordDataset renders a UCR-format dataset of utterances: perClass exemplars
+// of each word in words, every exemplar resampled to length and
+// z-normalized — i.e. the Fig. 1 "samples of data in the UCR format".
+// Labels are 1-based in the order of words.
+func WordDataset(rng *rand.Rand, words []string, perClass, length int, cfg WordConfig) (*dataset.Dataset, error) {
+	if len(words) == 0 || perClass <= 0 || length < 2 {
+		return nil, fmt.Errorf("synth: WordDataset invalid arguments (words=%d perClass=%d length=%d)",
+			len(words), perClass, length)
+	}
+	var instances []dataset.Instance
+	for li, w := range words {
+		for i := 0; i < perClass; i++ {
+			u, err := Utterance(rng, w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ts.Resample(u, length)
+			if err != nil {
+				return nil, err
+			}
+			instances = append(instances, dataset.Instance{Label: li + 1, Series: ts.ZNorm(r)})
+		}
+	}
+	d, err := dataset.New("Words["+strings.Join(words, ",")+"]", instances)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SpokenInterval annotates where a word sits inside a rendered sentence
+// stream.
+type SpokenInterval struct {
+	Word       string
+	Start, End int // half-open [Start, End) in stream points
+}
+
+// Sentence renders the given words as one continuous stream with silence
+// gaps (low-amplitude noise) between words, returning the stream and the
+// per-word intervals. Unknown words return an error listing the known
+// vocabulary, so test failures are self-explanatory.
+func Sentence(rng *rand.Rand, words []string, cfg WordConfig, gapLen int) (ts.Series, []SpokenInterval, error) {
+	if gapLen < 0 {
+		gapLen = 0
+	}
+	var stream ts.Series
+	var intervals []SpokenInterval
+	appendGap := func(n int) {
+		for i := 0; i < n; i++ {
+			v := 0.0
+			if rng != nil {
+				v = rng.NormFloat64() * cfg.NoiseSigma
+			}
+			stream = append(stream, v)
+		}
+	}
+	appendGap(gapLen)
+	for _, w := range words {
+		u, err := Utterance(rng, w, cfg)
+		if err != nil {
+			known := make([]string, 0, len(Lexicon))
+			for k := range Lexicon {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return nil, nil, fmt.Errorf("synth: Sentence: %v (known words: %s)", err, strings.Join(known, " "))
+		}
+		start := len(stream)
+		stream = append(stream, u...)
+		intervals = append(intervals, SpokenInterval{Word: w, Start: start, End: len(stream)})
+		g := gapLen
+		if rng != nil && gapLen > 2 {
+			g = gapLen + rng.Intn(gapLen/2+1)
+		}
+		appendGap(g)
+	}
+	return stream, intervals, nil
+}
+
+// CathySentence is the paper's Fig. 2 sentence, tokenized to the lexicon:
+// "It was said that Cathy's dogmatic catechism dogmatized catholic doggery."
+// It contains three cat-stem words and three dog-stem words and zero
+// occurrences of the standalone words "cat" or "dog".
+var CathySentence = []string{
+	"it", "was", "said", "that", "cathys", "dogmatic", "catechism",
+	"dogmatized", "catholic", "doggery",
+}
+
+// MorningLightSentence is the §3.2 inclusion-problem sentence: "In the
+// morning light, I could see that I got a papercut from the paper that the
+// light was wrapped in."
+var MorningLightSentence = []string{
+	"in", "the", "morning", "light", "i", "could", "see", "that", "i",
+	"got", "a", "papercut", "from", "the", "paper", "that", "the",
+	"light", "was", "wrapped", "in",
+}
+
+// LeviticusSentence is the §3.3 homophone-problem sentence: "Whither anyone
+// presents a grain offering as an offering to the Lord, his offering shall
+// be of fine flour...". It contains no occurrence of "wither" or "flower"
+// but two perfect time series homophones of them.
+var LeviticusSentence = []string{
+	"whither", "anyone", "presents", "a", "grain", "offering", "as", "an",
+	"offering", "to", "the", "lord", "his", "offering", "shall", "be",
+	"of", "fine", "flour",
+}
+
+// AmyGunnSentence is the §3.4 sentence: "Amy Gunn thought it pointless to go
+// on pointe before she had begun her appointment to get her burgundy ballet
+// shoes cleaned of all the gunk."
+var AmyGunnSentence = []string{
+	"amy", "gunn", "thought", "it", "pointless", "to", "go", "on",
+	"pointe", "before", "she", "had", "begun", "her", "appointment",
+	"to", "get", "her", "burgundy", "ballet", "shoes", "cleaned",
+	"of", "all", "the", "gunk",
+}
+
+// StemPrefixes lists, for a target word, which sentence words begin with the
+// target's phoneme sequence (prefix problem), fully contain it (inclusion
+// problem), or are phonemically identical (homophone problem).
+type StemPrefixes struct {
+	Target     string
+	Prefixes   []string // sentence words whose phonemes start with target's
+	Inclusions []string // sentence words containing target's phonemes mid-word
+	Homophones []string // sentence words phonemically identical to target
+}
+
+// AnalyzeLexicon scans the lexicon for words related to target by prefix,
+// inclusion or homophony — ground truth for the streaming experiments.
+func AnalyzeLexicon(target string) (StemPrefixes, error) {
+	tp, ok := Lexicon[target]
+	if !ok {
+		return StemPrefixes{}, fmt.Errorf("synth: word %q not in lexicon", target)
+	}
+	out := StemPrefixes{Target: target}
+	for w, ph := range Lexicon {
+		if w == target {
+			continue
+		}
+		switch {
+		case phonemesEqual(ph, tp):
+			out.Homophones = append(out.Homophones, w)
+		case phonemesHavePrefix(ph, tp):
+			out.Prefixes = append(out.Prefixes, w)
+		case phonemesContain(ph, tp):
+			out.Inclusions = append(out.Inclusions, w)
+		}
+	}
+	sort.Strings(out.Prefixes)
+	sort.Strings(out.Inclusions)
+	sort.Strings(out.Homophones)
+	return out, nil
+}
+
+func phonemesEqual(a, b []Phoneme) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func phonemesHavePrefix(a, prefix []Phoneme) bool {
+	if len(a) <= len(prefix) {
+		return false
+	}
+	return phonemesEqual(a[:len(prefix)], prefix)
+}
+
+func phonemesContain(a, sub []Phoneme) bool {
+	if len(sub) == 0 || len(a) <= len(sub) {
+		return false
+	}
+	for i := 1; i+len(sub) <= len(a); i++ {
+		if phonemesEqual(a[i:i+len(sub)], sub) {
+			return true
+		}
+	}
+	return false
+}

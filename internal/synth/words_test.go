@@ -1,0 +1,220 @@
+package synth
+
+import (
+	"testing"
+
+	"etsc/internal/ts"
+)
+
+func TestLexiconRendersEveryWord(t *testing.T) {
+	rng := NewRand(1)
+	cfg := DefaultWordConfig()
+	for w := range Lexicon {
+		u, err := Utterance(rng, w, cfg)
+		if err != nil {
+			t.Errorf("word %q: %v", w, err)
+			continue
+		}
+		if len(u) < 4 {
+			t.Errorf("word %q rendered only %d points", w, len(u))
+		}
+	}
+}
+
+func TestPhonemeWaveUnknown(t *testing.T) {
+	if _, err := PhonemeWave(nil, "QQ", DefaultWordConfig()); err == nil {
+		t.Error("unknown phoneme should error")
+	}
+}
+
+func TestPhonemeWaveDeterministicWithoutRNG(t *testing.T) {
+	cfg := DefaultWordConfig()
+	a, err := PhonemeWave(nil, "AE", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PhonemeWave(nil, "AE", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nil-rng rendering should be canonical; differs at %d", i)
+		}
+	}
+}
+
+func TestUtteranceCompositionality(t *testing.T) {
+	// The canonical (jitter-free) rendering of "catalog" must begin with
+	// the canonical rendering of "cat" — the prefix problem's raw material.
+	cfg := DefaultWordConfig()
+	cfg.NoiseSigma = 0
+	cat, err := Utterance(nil, "cat", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := Utterance(nil, "catalog", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(catalog) <= len(cat) {
+		t.Fatalf("catalog (%d) should be longer than cat (%d)", len(catalog), len(cat))
+	}
+	// Identical except the final cross-fade points of "cat", which blend
+	// into the next phoneme in "catalog".
+	check := len(cat) - 4
+	for i := 0; i < check; i++ {
+		if cat[i] != catalog[i] {
+			t.Fatalf("catalog should start with cat's waveform; differs at %d (%v vs %v)",
+				i, cat[i], catalog[i])
+		}
+	}
+}
+
+func TestHomophonesRenderIdentically(t *testing.T) {
+	cfg := DefaultWordConfig()
+	cfg.NoiseSigma = 0
+	pairs := [][2]string{{"flower", "flour"}, {"wither", "whither"}, {"gun", "gunn"}, {"point", "pointe"}}
+	for _, p := range pairs {
+		a, err := Utterance(nil, p[0], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Utterance(nil, p[1], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Errorf("%s/%s lengths differ: %d vs %d", p[0], p[1], len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s/%s differ at %d — homophones must be identical in signal space", p[0], p[1], i)
+				break
+			}
+		}
+	}
+}
+
+func TestWordDataset(t *testing.T) {
+	rng := NewRand(2)
+	d, err := WordDataset(rng, []string{"cat", "dog"}, 20, 48, DefaultWordConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 40 || d.SeriesLen() != 48 {
+		t.Fatalf("dataset shape %dx%d, want 40x48", d.Len(), d.SeriesLen())
+	}
+	if !d.IsZNormalized(1e-6) {
+		t.Error("word dataset should be z-normalized (UCR convention)")
+	}
+	counts := d.ClassCounts()
+	if counts[1] != 20 || counts[2] != 20 {
+		t.Errorf("class counts %v, want 20/20", counts)
+	}
+}
+
+func TestWordDatasetErrors(t *testing.T) {
+	if _, err := WordDataset(NewRand(1), nil, 5, 48, DefaultWordConfig()); err == nil {
+		t.Error("empty word list should error")
+	}
+	if _, err := WordDataset(NewRand(1), []string{"zzz"}, 5, 48, DefaultWordConfig()); err == nil {
+		t.Error("unknown word should error")
+	}
+}
+
+func TestSentenceAnnotations(t *testing.T) {
+	rng := NewRand(3)
+	stream, intervals, err := Sentence(rng, CathySentence, DefaultWordConfig(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intervals) != len(CathySentence) {
+		t.Fatalf("%d intervals, want %d", len(intervals), len(CathySentence))
+	}
+	prevEnd := 0
+	for i, iv := range intervals {
+		if iv.Word != CathySentence[i] {
+			t.Errorf("interval %d word %q, want %q", i, iv.Word, CathySentence[i])
+		}
+		if iv.Start < prevEnd {
+			t.Errorf("interval %d overlaps previous (start %d < prev end %d)", i, iv.Start, prevEnd)
+		}
+		if iv.End <= iv.Start || iv.End > len(stream) {
+			t.Errorf("interval %d bounds [%d,%d) invalid for stream %d", i, iv.Start, iv.End, len(stream))
+		}
+		prevEnd = iv.End
+	}
+	if _, _, err := Sentence(rng, []string{"notaword"}, DefaultWordConfig(), 5); err == nil {
+		t.Error("unknown word in sentence should error")
+	}
+}
+
+func TestAnalyzeLexicon(t *testing.T) {
+	sp, err := AnalyzeLexicon("cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPrefix := map[string]bool{"catalog": true, "catechism": true, "cattle": true}
+	for _, w := range sp.Prefixes {
+		delete(wantPrefix, w)
+	}
+	if len(wantPrefix) > 0 {
+		t.Errorf("cat prefixes missing %v (got %v)", wantPrefix, sp.Prefixes)
+	}
+
+	sp, err = AnalyzeLexicon("point")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Homophones) == 0 {
+		t.Errorf("point should have homophone 'pointe', got %v", sp.Homophones)
+	}
+	foundInclusion := false
+	for _, w := range sp.Inclusions {
+		if w == "appointment" || w == "ballpoints" || w == "disappointing" {
+			foundInclusion = true
+		}
+	}
+	if !foundInclusion {
+		t.Errorf("point inclusions should contain appointment/ballpoints/disappointing, got %v", sp.Inclusions)
+	}
+
+	if _, err := AnalyzeLexicon("zzz"); err == nil {
+		t.Error("unknown target should error")
+	}
+}
+
+func TestUtteranceVariability(t *testing.T) {
+	// Two jittered utterances of the same word must be similar in shape
+	// (classifiable) but not identical (realistic).
+	rng := NewRand(9)
+	cfg := DefaultWordConfig()
+	a, err := Utterance(rng, "cat", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Utterance(rng, "cat", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := ts.Resample(a, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ts.Resample(b, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ts.Euclidean(ts.ZNorm(ra), ts.ZNorm(rb))
+	if d == 0 {
+		t.Error("jittered utterances should differ")
+	}
+	if d > 6 {
+		t.Errorf("same-word utterances too dissimilar: %v", d)
+	}
+}

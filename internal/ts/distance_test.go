@@ -1,0 +1,161 @@
+package ts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEuclidean(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if d := Euclidean(a, b); !almostEqual(d, 5, 1e-12) {
+		t.Errorf("Euclidean = %v, want 5", d)
+	}
+	if d := SquaredEuclidean(a, b); !almostEqual(d, 25, 1e-12) {
+		t.Errorf("SquaredEuclidean = %v, want 25", d)
+	}
+}
+
+func TestEuclideanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Euclidean([]float64{1}, []float64{1, 2})
+}
+
+func TestSquaredEuclideanEA(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{1, 1, 1}
+	d, ok := SquaredEuclideanEA(a, b, 10)
+	if !ok || !almostEqual(d, 3, 1e-12) {
+		t.Errorf("EA full = %v, %v", d, ok)
+	}
+	d, ok = SquaredEuclideanEA(a, b, 1.5)
+	if ok || !math.IsInf(d, 1) {
+		t.Errorf("EA should abandon: %v, %v", d, ok)
+	}
+}
+
+func TestEAMatchesPlainProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(60)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		want := SquaredEuclidean(a, b)
+		got, ok := SquaredEuclideanEA(a, b, want+1)
+		return ok && almostEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWIdentity(t *testing.T) {
+	s := []float64{1, 3, 2, 5, 4}
+	if d := DTW(s, s, -1); !almostEqual(d, 0, 1e-12) {
+		t.Errorf("DTW self = %v, want 0", d)
+	}
+}
+
+func TestDTWZeroRadiusEqualsEuclidean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		return almostEqual(DTW(a, b, 0), Euclidean(a, b), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWNotGreaterThanEuclidean(t *testing.T) {
+	// DTW with any radius can only decrease cost vs the diagonal path.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		return DTW(a, b, 3) <= Euclidean(a, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWWarping(t *testing.T) {
+	// A shifted copy has large ED but near-zero unconstrained DTW.
+	n := 40
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = math.Sin(2 * math.Pi * float64(i) / 20)
+		b[i] = math.Sin(2 * math.Pi * float64(i+3) / 20)
+	}
+	ed := Euclidean(a, b)
+	dtw := DTW(a, b, -1)
+	if dtw >= ed/2 {
+		t.Errorf("DTW %v should be well under ED %v for phase-shifted sines", dtw, ed)
+	}
+}
+
+func TestDTWUnequalLengths(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1, 2, 2, 3, 4}
+	d := DTW(a, b, -1)
+	if math.IsInf(d, 1) || d > 1 {
+		t.Errorf("DTW on stretched copy = %v, want small finite", d)
+	}
+	if d := DTW(nil, nil, -1); d != 0 {
+		t.Errorf("DTW empty-empty = %v, want 0", d)
+	}
+	if d := DTW(a, nil, -1); !math.IsInf(d, 1) {
+		t.Errorf("DTW vs empty = %v, want +Inf", d)
+	}
+}
+
+func TestDTWSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		m := 4 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		return almostEqual(DTW(a, b, -1), DTW(b, a, -1), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZNormEuclideanInvariance(t *testing.T) {
+	a := []float64{1, 2, 3, 2, 1, 4, 2, 0}
+	b := Shift(Scale(a, 2.5), -7)
+	if d := ZNormEuclidean(a, b); !almostEqual(d, 0, 1e-9) {
+		t.Errorf("ZNormEuclidean of scaled/shifted copy = %v, want 0", d)
+	}
+}

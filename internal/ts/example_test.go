@@ -1,0 +1,46 @@
+package ts_test
+
+import (
+	"fmt"
+
+	"etsc/internal/ts"
+)
+
+// Z-normalization removes offset and scale — which is exactly why a
+// streaming system cannot apply it to a prefix: the mean and standard
+// deviation depend on points that have not arrived yet (paper §4).
+func ExampleZNorm() {
+	s := []float64{10, 12, 14, 12, 10}
+	z := ts.ZNorm(s)
+	shifted := ts.ZNorm(ts.Shift(s, 100))
+	fmt.Printf("%.3f\n", z)
+	fmt.Printf("%.3f\n", shifted)
+	// Output:
+	// [-1.069 0.267 1.604 0.267 -1.069]
+	// [-1.069 0.267 1.604 0.267 -1.069]
+}
+
+// Subsequence search under z-normalized Euclidean distance finds a planted
+// pattern regardless of its local offset and amplitude.
+func ExampleBestMatch() {
+	query := []float64{0, 1, 0, -1, 0, 1, 0, -1}
+	stream := make([]float64, 64)
+	for i, v := range query {
+		stream[40+i] = 5*v + 100 // scaled and shifted copy at position 40
+	}
+	m, _ := ts.BestMatch(query, stream)
+	fmt.Printf("best match at %d, distance %.3f\n", m.Start, m.Dist)
+	// Output:
+	// best match at 40, distance 0.000
+}
+
+// DTW absorbs small phase shifts that defeat the Euclidean distance.
+func ExampleDTW() {
+	a := []float64{0, 0, 1, 2, 1, 0, 0, 0}
+	b := []float64{0, 0, 0, 1, 2, 1, 0, 0} // same bump, one step later
+	fmt.Printf("ED  = %.2f\n", ts.Euclidean(a, b))
+	fmt.Printf("DTW = %.2f\n", ts.DTW(a, b, -1))
+	// Output:
+	// ED  = 2.00
+	// DTW = 0.00
+}

@@ -1,0 +1,103 @@
+package ts
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Sparkline renders s as a one-line unicode sparkline of the given width
+// (0 means one glyph per point). It is used by the experiment runners to
+// emit figure-like output without a plotting dependency.
+func Sparkline(s []float64, width int) string {
+	if len(s) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	src := Series(s)
+	if width > 0 && width != len(s) && len(s) >= 2 && width >= 2 {
+		if r, err := Resample(s, width); err == nil {
+			src = r
+		}
+	}
+	lo, hi := MinMax(src)
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range src {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(glyphs)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(glyphs) {
+				idx = len(glyphs) - 1
+			}
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}
+
+// AsciiPlot renders s as a rows-line ASCII chart of the given width. Each
+// column shows the resampled value as a '*' on a vertical scale; the
+// left margin carries the axis values. Intended for EXPERIMENTS.md output.
+func AsciiPlot(s []float64, width, rows int) string {
+	if len(s) == 0 || rows < 2 || width < 2 {
+		return ""
+	}
+	src := Series(s)
+	if len(s) != width {
+		if len(s) < 2 {
+			return ""
+		}
+		r, err := Resample(s, width)
+		if err != nil {
+			return ""
+		}
+		src = r
+	}
+	lo, hi := MinMax(src)
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for x, v := range src {
+		y := int(math.Round((v - lo) / span * float64(rows-1)))
+		if y < 0 {
+			y = 0
+		}
+		if y >= rows {
+			y = rows - 1
+		}
+		grid[rows-1-y][x] = '*'
+	}
+	var b strings.Builder
+	for i, row := range grid {
+		switch i {
+		case 0:
+			b.WriteString(formatAxis(hi))
+		case rows - 1:
+			b.WriteString(formatAxis(lo))
+		default:
+			b.WriteString(strings.Repeat(" ", axisWidth))
+		}
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+const axisWidth = 9
+
+func formatAxis(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	if len(s) >= axisWidth {
+		return s[:axisWidth-1] + "|"
+	}
+	return strings.Repeat(" ", axisWidth-1-len(s)) + s + "|"
+}

@@ -1,0 +1,70 @@
+package ts
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3}, 0)
+	if runeLen(s) != 4 {
+		t.Errorf("sparkline %q should have 4 glyphs", s)
+	}
+	if !strings.HasPrefix(s, "▁") || !strings.HasSuffix(s, "█") {
+		t.Errorf("sparkline %q should span the glyph range", s)
+	}
+	// Constant input: all-minimum glyphs, no panic.
+	c := Sparkline([]float64{5, 5, 5}, 0)
+	if c != "▁▁▁" {
+		t.Errorf("constant sparkline %q", c)
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty input should produce empty output")
+	}
+	// Resampled width.
+	w := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 4)
+	if runeLen(w) != 4 {
+		t.Errorf("resampled sparkline %q should have 4 glyphs", w)
+	}
+}
+
+func runeLen(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+func TestAsciiPlot(t *testing.T) {
+	s := make([]float64, 50)
+	for i := range s {
+		s[i] = float64(i % 10)
+	}
+	out := AsciiPlot(s, 40, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("%d lines, want 8", len(lines))
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("plot contains no points")
+	}
+	if !strings.Contains(lines[0], "|") || !strings.Contains(lines[7], "|") {
+		t.Error("axis labels missing")
+	}
+	// Degenerate inputs return empty rather than panicking.
+	if AsciiPlot(nil, 40, 8) != "" {
+		t.Error("empty input")
+	}
+	if AsciiPlot(s, 1, 8) != "" {
+		t.Error("width < 2")
+	}
+	if AsciiPlot(s, 40, 1) != "" {
+		t.Error("rows < 2")
+	}
+	// Constant series still renders (flat line).
+	flat := AsciiPlot([]float64{2, 2, 2, 2}, 4, 3)
+	if !strings.Contains(flat, "*") {
+		t.Error("flat plot missing points")
+	}
+}

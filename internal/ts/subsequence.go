@@ -1,0 +1,200 @@
+package ts
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Match is one query-to-stream match produced by subsequence search.
+type Match struct {
+	Start int     // start index of the window in the stream
+	Dist  float64 // z-normalized Euclidean distance
+}
+
+// SlidingMeanStd returns the mean and population standard deviation of every
+// length-m window of stream, computed with rolling sums in O(n).
+func SlidingMeanStd(stream []float64, m int) (means, stds []float64, err error) {
+	n := len(stream)
+	if m <= 0 || m > n {
+		return nil, nil, fmt.Errorf("ts: SlidingMeanStd window %d out of range for stream length %d", m, n)
+	}
+	k := n - m + 1
+	means = make([]float64, k)
+	stds = make([]float64, k)
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < m; i++ {
+		sum += stream[i]
+		sumSq += stream[i] * stream[i]
+	}
+	fm := float64(m)
+	for i := 0; ; i++ {
+		mu := sum / fm
+		v := sumSq/fm - mu*mu
+		if v < 0 {
+			v = 0 // guard against rounding
+		}
+		means[i] = mu
+		stds[i] = math.Sqrt(v)
+		if i == k-1 {
+			break
+		}
+		out, in := stream[i], stream[i+m]
+		sum += in - out
+		sumSq += in*in - out*out
+	}
+	return means, stds, nil
+}
+
+// DistanceProfile returns, for every length-len(query) window of stream, the
+// z-normalized Euclidean distance to query. The query is z-normalized
+// internally; each window is z-normalized on the fly via the identity
+//
+//	dist² = 2m (1 - corr(q, w))
+//
+// where corr is the Pearson correlation, so the whole profile costs one
+// rolling-statistics pass plus one O(m) dot product per window. Windows with
+// (near-)zero variance are reported at the maximum distance sqrt(2m): a flat
+// region has no shape to match.
+func DistanceProfile(query, stream []float64) ([]float64, error) {
+	m := len(query)
+	if m == 0 {
+		return nil, ErrEmpty
+	}
+	if m > len(stream) {
+		return nil, fmt.Errorf("ts: query length %d exceeds stream length %d", m, len(stream))
+	}
+	q := ZNorm(query)
+	_, stds, err := SlidingMeanStd(stream, m)
+	if err != nil {
+		return nil, err
+	}
+	k := len(stream) - m + 1
+	out := make([]float64, k)
+	fm := float64(m)
+	maxD := math.Sqrt(2 * fm)
+	for i := 0; i < k; i++ {
+		if stds[i] < minStd {
+			out[i] = maxD
+			continue
+		}
+		dot := 0.0
+		w := stream[i : i+m]
+		for j, qv := range q {
+			dot += qv * w[j]
+		}
+		// Since q is z-normalized, Σq=0 and Σq²=m:
+		// dist² = 2m - 2·(dot - μΣq)/σ = 2m - 2·dot/σ.
+		d2 := 2*fm - 2*dot/stds[i]
+		if d2 < 0 {
+			d2 = 0
+		}
+		out[i] = math.Sqrt(d2)
+	}
+	return out, nil
+}
+
+// TopMatches returns the k best non-overlapping matches of query in stream
+// under z-normalized Euclidean distance. excl is the exclusion radius around
+// each accepted match (start indices within excl of an accepted match are
+// suppressed, eliminating trivial matches); excl <= 0 defaults to half the
+// query length.
+func TopMatches(query, stream []float64, k, excl int) ([]Match, error) {
+	profile, err := DistanceProfile(query, stream)
+	if err != nil {
+		return nil, err
+	}
+	if excl <= 0 {
+		excl = len(query) / 2
+		if excl < 1 {
+			excl = 1
+		}
+	}
+	order := make([]int, len(profile))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return profile[order[a]] < profile[order[b]] })
+	taken := make([]bool, len(profile))
+	matches := make([]Match, 0, k)
+	for _, idx := range order {
+		if len(matches) == k {
+			break
+		}
+		if taken[idx] {
+			continue
+		}
+		matches = append(matches, Match{Start: idx, Dist: profile[idx]})
+		lo := idx - excl
+		if lo < 0 {
+			lo = 0
+		}
+		hi := idx + excl
+		if hi >= len(taken) {
+			hi = len(taken) - 1
+		}
+		for i := lo; i <= hi; i++ {
+			taken[i] = true
+		}
+	}
+	return matches, nil
+}
+
+// BestMatch returns the single best match of query in stream under
+// z-normalized Euclidean distance.
+func BestMatch(query, stream []float64) (Match, error) {
+	ms, err := TopMatches(query, stream, 1, 0)
+	if err != nil {
+		return Match{}, err
+	}
+	if len(ms) == 0 {
+		return Match{}, ErrEmpty
+	}
+	return ms[0], nil
+}
+
+// MatchesBelow returns every non-overlapping match of query in stream whose
+// z-normalized Euclidean distance is <= threshold, greedily selected best
+// first with the given exclusion radius (<=0 defaults to half the query
+// length). This implements the template-detector used by the paper's Fig. 8
+// dustbathing analysis.
+func MatchesBelow(query, stream []float64, threshold float64, excl int) ([]Match, error) {
+	profile, err := DistanceProfile(query, stream)
+	if err != nil {
+		return nil, err
+	}
+	if excl <= 0 {
+		excl = len(query) / 2
+		if excl < 1 {
+			excl = 1
+		}
+	}
+	order := make([]int, 0, len(profile))
+	for i, d := range profile {
+		if d <= threshold {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return profile[order[a]] < profile[order[b]] })
+	taken := make([]bool, len(profile))
+	var matches []Match
+	for _, idx := range order {
+		if taken[idx] {
+			continue
+		}
+		matches = append(matches, Match{Start: idx, Dist: profile[idx]})
+		lo := idx - excl
+		if lo < 0 {
+			lo = 0
+		}
+		hi := idx + excl
+		if hi >= len(taken) {
+			hi = len(taken) - 1
+		}
+		for i := lo; i <= hi; i++ {
+			taken[i] = true
+		}
+	}
+	sort.Slice(matches, func(a, b int) bool { return matches[a].Start < matches[b].Start })
+	return matches, nil
+}

@@ -1,0 +1,201 @@
+package ts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlidingMeanStd(t *testing.T) {
+	stream := []float64{1, 2, 3, 4, 5}
+	means, stds, err := SlidingMeanStd(stream, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(means) != 3 {
+		t.Fatalf("got %d windows, want 3", len(means))
+	}
+	wantMeans := []float64{2, 3, 4}
+	for i, w := range wantMeans {
+		if !almostEqual(means[i], w, 1e-12) {
+			t.Errorf("means[%d] = %v, want %v", i, means[i], w)
+		}
+		if !almostEqual(stds[i], math.Sqrt(2.0/3.0), 1e-12) {
+			t.Errorf("stds[%d] = %v", i, stds[i])
+		}
+	}
+}
+
+func TestSlidingMeanStdMatchesDirectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		m := 2 + rng.Intn(15)
+		stream := make([]float64, n)
+		for i := range stream {
+			stream[i] = rng.NormFloat64() * 10
+		}
+		means, stds, err := SlidingMeanStd(stream, m)
+		if err != nil {
+			return false
+		}
+		for i := range means {
+			dm, ds := MeanStd(stream[i : i+m])
+			if !almostEqual(means[i], dm, 1e-7) || !almostEqual(stds[i], ds, 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlidingMeanStdErrors(t *testing.T) {
+	if _, _, err := SlidingMeanStd([]float64{1, 2}, 3); err == nil {
+		t.Error("window larger than stream should error")
+	}
+	if _, _, err := SlidingMeanStd([]float64{1, 2}, 0); err == nil {
+		t.Error("zero window should error")
+	}
+}
+
+func TestDistanceProfileExactMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	stream := make([]float64, 300)
+	for i := range stream {
+		stream[i] = rng.NormFloat64()
+	}
+	// Plant a scaled, shifted copy of a query at position 120.
+	query := make([]float64, 25)
+	for i := range query {
+		query[i] = math.Sin(float64(i) / 3)
+	}
+	for i, v := range query {
+		stream[120+i] = 3*v + 40
+	}
+	profile, err := DistanceProfile(query, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(profile[120], 0, 1e-4) {
+		t.Errorf("profile at planted copy = %v, want ~0 (z-norm invariance)", profile[120])
+	}
+	best, err := BestMatch(query, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Start != 120 {
+		t.Errorf("best match at %d, want 120", best.Start)
+	}
+}
+
+func TestDistanceProfileMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	stream := make([]float64, 120)
+	for i := range stream {
+		stream[i] = rng.NormFloat64()*2 + 5
+	}
+	query := make([]float64, 13)
+	for i := range query {
+		query[i] = rng.NormFloat64()
+	}
+	profile, err := DistanceProfile(query, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zq := ZNorm(query)
+	for i := 0; i+len(query) <= len(stream); i++ {
+		want := Euclidean(zq, ZNorm(stream[i:i+len(query)]))
+		if !almostEqual(profile[i], want, 1e-6) {
+			t.Fatalf("profile[%d] = %v, brute force %v", i, profile[i], want)
+		}
+	}
+}
+
+func TestDistanceProfileFlatWindow(t *testing.T) {
+	stream := make([]float64, 60)
+	for i := 30; i < 60; i++ {
+		stream[i] = math.Sin(float64(i))
+	}
+	query := []float64{0, 1, 0, -1, 0, 1, 0, -1}
+	profile, err := DistanceProfile(query, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxD := math.Sqrt(2 * float64(len(query)))
+	if !almostEqual(profile[0], maxD, 1e-9) {
+		t.Errorf("flat window distance = %v, want max %v", profile[0], maxD)
+	}
+}
+
+func TestDistanceProfileErrors(t *testing.T) {
+	if _, err := DistanceProfile(nil, []float64{1, 2}); err == nil {
+		t.Error("empty query should error")
+	}
+	if _, err := DistanceProfile([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Error("query longer than stream should error")
+	}
+}
+
+func TestTopMatchesExclusion(t *testing.T) {
+	// Periodic stream: every period is a perfect match; exclusion must
+	// space them out.
+	n := 400
+	stream := make([]float64, n)
+	for i := range stream {
+		stream[i] = math.Sin(2 * math.Pi * float64(i) / 50)
+	}
+	query := stream[0:50]
+	matches, err := TopMatches(query, stream, 5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 5 {
+		t.Fatalf("got %d matches, want 5", len(matches))
+	}
+	for i := 0; i < len(matches); i++ {
+		for j := i + 1; j < len(matches); j++ {
+			gap := matches[i].Start - matches[j].Start
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap <= 25 {
+				t.Errorf("matches %d and %d overlap: starts %d, %d", i, j, matches[i].Start, matches[j].Start)
+			}
+		}
+	}
+}
+
+func TestMatchesBelow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	stream := make([]float64, 1000)
+	for i := range stream {
+		stream[i] = rng.NormFloat64()
+	}
+	query := make([]float64, 30)
+	for i := range query {
+		query[i] = math.Sin(float64(i) / 2)
+	}
+	// Plant 3 noisy copies.
+	for _, pos := range []int{100, 400, 800} {
+		for i, v := range query {
+			stream[pos+i] = v*2 + 1 + rng.NormFloat64()*0.05
+		}
+	}
+	matches, err := MatchesBelow(query, stream, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Fatalf("got %d matches below threshold, want 3: %+v", len(matches), matches)
+	}
+	wantPos := []int{100, 400, 800}
+	for i, m := range matches {
+		if absInt(m.Start-wantPos[i]) > 2 {
+			t.Errorf("match %d at %d, want ~%d", i, m.Start, wantPos[i])
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package valuemon_test
+
+import (
+	"fmt"
+
+	"etsc/internal/valuemon"
+)
+
+// Appendix A.1: a boiler rated for 200 psi under steadily rising pressure.
+// Warning on values and trends is well-posed early warning — no shape
+// recognition, none of the paper's traps.
+func ExampleValueMonitor() {
+	mon, _ := valuemon.NewValueMonitor(200, 0, 15)
+	var pressure []float64
+	for i := 0; i < 60; i++ {
+		pressure = append(pressure, 180+float64(i)) // 180, 181, 182, …
+	}
+	w, ok := mon.Run(pressure)
+	fmt.Println(ok, w.At < 20)
+	// Output:
+	// true true
+}
+
+// Appendix A.3: culling decisions depend on the frequency of fully
+// observed behaviours, not on early-classifying any one of them.
+func ExampleFrequencyMonitor() {
+	mon, _ := valuemon.NewFrequencyMonitor(4, 100) // quota 4 per 100 samples
+	mon.Reset()
+	for at := 0; at < 100; at++ {
+		if w, ok := mon.Observe(at, at%10 == 9); ok { // an event every 10 samples
+			fmt.Printf("warned at sample %d: projected pace over quota\n", w.At)
+			return
+		}
+	}
+	// Output:
+	// warned at sample 24: projected pace over quota
+}

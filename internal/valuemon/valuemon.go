@@ -1,0 +1,274 @@
+// Package valuemon implements the three early-warning formulations of the
+// paper's Appendix A — the tasks that are sometimes *called* early
+// classification but are well-posed because they depend only on the
+// value, envelope or frequency of a signal, never on recognizing the
+// prefix of a shape:
+//
+//   - ValueMonitor: "a boiler is rated for at most 200 psi … it would
+//     make perfect sense to sound an early warning that the pressure may
+//     approach 200 psi." Threshold plus trend extrapolation on raw values.
+//   - BatchEnvelope: "monitoring of batch processes … at every time point
+//     in a single run (plus or minus some wiggle room) we know what range
+//     of values are acceptable." A per-timestep envelope learned from
+//     golden runs (cf. [25]).
+//   - FrequencyMonitor: "a chicken engaging in dustbathing more than 40
+//     times a day is required to be culled … this setting only considers
+//     the frequency of (fully observed, not 'early' observed) behaviors."
+//
+// These are the contrast class for internal/core's meaningfulness
+// analysis: the same alarm machinery, but none of the prefix/inclusion/
+// homophone/normalization failure modes apply.
+package valuemon
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"etsc/internal/stats"
+)
+
+// Warning is one alarm emitted by a monitor.
+type Warning struct {
+	At     int     // sample index at which the warning fired
+	Value  float64 // the observed (or projected) offending value
+	Reason string
+}
+
+// ValueMonitor warns when a signal's value approaches a hard limit, with
+// optional linear-trend projection ("the pressure may approach 200 psi").
+type ValueMonitor struct {
+	Limit float64 // the hard limit (e.g. 200 psi)
+	// Margin triggers a warning when value >= Limit - Margin.
+	Margin float64
+	// Horizon > 0 additionally projects the recent linear trend Horizon
+	// samples ahead and warns if the projection crosses the limit.
+	Horizon int
+	// TrendWindow is the number of recent samples used for the trend fit
+	// (default 10).
+	TrendWindow int
+
+	history []float64
+	fired   bool
+}
+
+// NewValueMonitor validates and builds the monitor.
+func NewValueMonitor(limit, margin float64, horizon int) (*ValueMonitor, error) {
+	if margin < 0 {
+		return nil, errors.New("valuemon: margin must be non-negative")
+	}
+	if horizon < 0 {
+		return nil, errors.New("valuemon: horizon must be non-negative")
+	}
+	return &ValueMonitor{Limit: limit, Margin: margin, Horizon: horizon, TrendWindow: 10}, nil
+}
+
+// Reset clears per-stream state so the monitor can watch a new stream.
+func (m *ValueMonitor) Reset() {
+	m.history = m.history[:0]
+	m.fired = false
+}
+
+// Step consumes one sample and reports a warning, if any. After the first
+// warning, subsequent samples do not re-fire until Reset (alarm latching).
+func (m *ValueMonitor) Step(i int, v float64) (Warning, bool) {
+	if m.fired {
+		return Warning{}, false
+	}
+	m.history = append(m.history, v)
+	if v >= m.Limit-m.Margin {
+		m.fired = true
+		return Warning{At: i, Value: v, Reason: fmt.Sprintf("value %.3g within margin of limit %.3g", v, m.Limit)}, true
+	}
+	if m.Horizon > 0 && len(m.history) >= m.TrendWindow {
+		w := m.history[len(m.history)-m.TrendWindow:]
+		slope, intercept := linearFit(w)
+		projected := intercept + slope*float64(m.TrendWindow-1+m.Horizon)
+		if slope > 0 && projected >= m.Limit {
+			m.fired = true
+			return Warning{
+				At:     i,
+				Value:  projected,
+				Reason: fmt.Sprintf("trend projects %.3g >= limit %.3g within %d samples", projected, m.Limit, m.Horizon),
+			}, true
+		}
+	}
+	return Warning{}, false
+}
+
+// Run scans a whole stream and returns the first warning (if any).
+func (m *ValueMonitor) Run(stream []float64) (Warning, bool) {
+	m.Reset()
+	for i, v := range stream {
+		if w, ok := m.Step(i, v); ok {
+			return w, true
+		}
+	}
+	return Warning{}, false
+}
+
+// linearFit returns slope and intercept of the least-squares line through
+// (0, w[0]) .. (n-1, w[n-1]).
+func linearFit(w []float64) (slope, intercept float64) {
+	n := float64(len(w))
+	if n < 2 {
+		if n == 1 {
+			return 0, w[0]
+		}
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i, v := range w {
+		x := float64(i)
+		sx += x
+		sy += v
+		sxx += x * x
+		sxy += x * v
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// BatchEnvelope is the golden-batch monitor: per-timestep acceptable
+// ranges learned from reference runs, with a wiggle-room multiplier.
+type BatchEnvelope struct {
+	Lo, Hi []float64
+	// Slack is how many reference standard deviations of wiggle room the
+	// envelope allows beyond the observed min/max.
+	Slack float64
+}
+
+// NewBatchEnvelope learns the envelope from golden runs (all the same
+// length, at least 2 runs).
+func NewBatchEnvelope(golden [][]float64, slack float64) (*BatchEnvelope, error) {
+	if len(golden) < 2 {
+		return nil, errors.New("valuemon: need at least 2 golden runs")
+	}
+	L := len(golden[0])
+	if L == 0 {
+		return nil, errors.New("valuemon: empty golden run")
+	}
+	for i, g := range golden {
+		if len(g) != L {
+			return nil, fmt.Errorf("valuemon: golden run %d has length %d, want %d", i, len(g), L)
+		}
+	}
+	if slack < 0 {
+		return nil, errors.New("valuemon: slack must be non-negative")
+	}
+	e := &BatchEnvelope{Lo: make([]float64, L), Hi: make([]float64, L), Slack: slack}
+	for t := 0; t < L; t++ {
+		var r stats.Running
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, g := range golden {
+			v := g[t]
+			r.Add(v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		wiggle := slack * r.Std()
+		e.Lo[t] = lo - wiggle
+		e.Hi[t] = hi + wiggle
+	}
+	return e, nil
+}
+
+// Len returns the envelope length.
+func (e *BatchEnvelope) Len() int { return len(e.Lo) }
+
+// Check scans a run against the envelope and returns the first excursion,
+// if any. Runs shorter than the envelope are checked as far as they go;
+// longer runs only over the envelope's span.
+func (e *BatchEnvelope) Check(run []float64) (Warning, bool) {
+	n := len(run)
+	if n > e.Len() {
+		n = e.Len()
+	}
+	for t := 0; t < n; t++ {
+		if run[t] < e.Lo[t] {
+			return Warning{At: t, Value: run[t],
+				Reason: fmt.Sprintf("value %.3g below envelope [%.3g, %.3g] at t=%d", run[t], e.Lo[t], e.Hi[t], t)}, true
+		}
+		if run[t] > e.Hi[t] {
+			return Warning{At: t, Value: run[t],
+				Reason: fmt.Sprintf("value %.3g above envelope [%.3g, %.3g] at t=%d", run[t], e.Lo[t], e.Hi[t], t)}, true
+		}
+	}
+	return Warning{}, false
+}
+
+// FrequencyMonitor counts fully observed events per period and warns when
+// the projected end-of-period count exceeds a quota ("more than 40 times
+// a day").
+type FrequencyMonitor struct {
+	Quota     int // events per period that trigger the warning
+	PeriodLen int // period length in samples (e.g. one day)
+
+	count int
+	pos   int
+	fired bool
+}
+
+// NewFrequencyMonitor validates and builds the monitor.
+func NewFrequencyMonitor(quota, periodLen int) (*FrequencyMonitor, error) {
+	if quota < 1 {
+		return nil, errors.New("valuemon: quota must be >= 1")
+	}
+	if periodLen < 1 {
+		return nil, errors.New("valuemon: period length must be >= 1")
+	}
+	return &FrequencyMonitor{Quota: quota, PeriodLen: periodLen}, nil
+}
+
+// Reset starts a new period.
+func (m *FrequencyMonitor) Reset() {
+	m.count = 0
+	m.pos = 0
+	m.fired = false
+}
+
+// Count returns events observed so far this period.
+func (m *FrequencyMonitor) Count() int { return m.count }
+
+// Observe advances the clock to sample index at and records whether a
+// fully observed event completed there. It warns as soon as the *pace*
+// implies the quota will be exceeded: projected = count · period/elapsed.
+func (m *FrequencyMonitor) Observe(at int, event bool) (Warning, bool) {
+	m.pos = at % m.PeriodLen
+	if at > 0 && m.pos == 0 {
+		m.count = 0
+		m.fired = false
+	}
+	if event {
+		m.count++
+	}
+	if m.fired {
+		return Warning{}, false
+	}
+	// Immediate breach.
+	if m.count > m.Quota {
+		m.fired = true
+		return Warning{At: at, Value: float64(m.count),
+			Reason: fmt.Sprintf("count %d exceeds quota %d", m.count, m.Quota)}, true
+	}
+	// Pace-based early warning needs a meaningful elapsed fraction.
+	elapsed := m.pos + 1
+	if elapsed*4 >= m.PeriodLen { // at least a quarter of the period seen
+		projected := float64(m.count) * float64(m.PeriodLen) / float64(elapsed)
+		if projected > float64(m.Quota) {
+			m.fired = true
+			return Warning{At: at, Value: projected,
+				Reason: fmt.Sprintf("pace projects %.1f events this period, quota %d", projected, m.Quota)}, true
+		}
+	}
+	return Warning{}, false
+}

@@ -1,0 +1,262 @@
+package valuemon
+
+import (
+	"math"
+	"testing"
+
+	"etsc/internal/synth"
+)
+
+func TestValueMonitorImmediateThreshold(t *testing.T) {
+	m, err := NewValueMonitor(200, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := []float64{180, 185, 190, 196, 199}
+	w, ok := m.Run(stream)
+	if !ok {
+		t.Fatal("no warning despite crossing the margin")
+	}
+	if w.At != 3 {
+		t.Errorf("warned at %d, want 3 (first value >= 195)", w.At)
+	}
+}
+
+func TestValueMonitorTrendProjection(t *testing.T) {
+	// The boiler scenario: 180, 181, 182, ... rises 1 psi per sample.
+	m, err := NewValueMonitor(200, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []float64
+	for i := 0; i < 40; i++ {
+		stream = append(stream, 180+float64(i))
+	}
+	w, ok := m.Run(stream)
+	if !ok {
+		t.Fatal("trend projection should warn before the limit is hit")
+	}
+	if w.At >= 20 {
+		t.Errorf("warned at %d; the trend projects the crossing ~10 samples ahead", w.At)
+	}
+	if w.Value < 200 {
+		t.Errorf("projected value %v should be >= limit", w.Value)
+	}
+}
+
+func TestValueMonitorNoFalseAlarmOnFlat(t *testing.T) {
+	m, err := NewValueMonitor(200, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := synth.NewRand(1)
+	stream := make([]float64, 500)
+	for i := range stream {
+		stream[i] = 150 + rng.NormFloat64()
+	}
+	if w, ok := m.Run(stream); ok {
+		t.Errorf("false alarm on flat noise: %+v", w)
+	}
+}
+
+func TestValueMonitorLatches(t *testing.T) {
+	m, err := NewValueMonitor(10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if _, ok := m.Step(0, 11); !ok {
+		t.Fatal("should fire")
+	}
+	if _, ok := m.Step(1, 12); ok {
+		t.Error("latched monitor re-fired")
+	}
+	m.Reset()
+	if _, ok := m.Step(0, 11); !ok {
+		t.Error("reset should re-arm")
+	}
+}
+
+func TestValueMonitorValidation(t *testing.T) {
+	if _, err := NewValueMonitor(1, -1, 0); err == nil {
+		t.Error("negative margin should error")
+	}
+	if _, err := NewValueMonitor(1, 0, -1); err == nil {
+		t.Error("negative horizon should error")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	slope, intercept := linearFit([]float64{3, 5, 7, 9})
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-3) > 1e-12 {
+		t.Errorf("fit %v, %v; want 2, 3", slope, intercept)
+	}
+	slope, intercept = linearFit([]float64{4})
+	if slope != 0 || intercept != 4 {
+		t.Errorf("single-point fit %v, %v", slope, intercept)
+	}
+}
+
+func TestBatchEnvelope(t *testing.T) {
+	golden := [][]float64{
+		{1, 2, 3, 4},
+		{1.1, 2.1, 3.1, 4.1},
+		{0.9, 1.9, 2.9, 3.9},
+	}
+	e, err := NewBatchEnvelope(golden, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 4 {
+		t.Fatalf("len %d", e.Len())
+	}
+	// A golden-like run passes.
+	if w, ok := e.Check([]float64{1.05, 2.0, 3.0, 4.0}); ok {
+		t.Errorf("in-envelope run flagged: %+v", w)
+	}
+	// A drifting run is caught at the first excursion.
+	w, ok := e.Check([]float64{1, 2, 5, 4})
+	if !ok {
+		t.Fatal("excursion missed")
+	}
+	if w.At != 2 {
+		t.Errorf("flagged at %d, want 2", w.At)
+	}
+	// Short and long runs are handled.
+	if _, ok := e.Check([]float64{1, 2}); ok {
+		t.Error("short in-envelope prefix flagged")
+	}
+	if _, ok := e.Check([]float64{1, 2, 3, 4, 99}); ok {
+		t.Error("values beyond the envelope span should be ignored")
+	}
+}
+
+func TestBatchEnvelopeValidation(t *testing.T) {
+	if _, err := NewBatchEnvelope([][]float64{{1, 2}}, 1); err == nil {
+		t.Error("single golden run should error")
+	}
+	if _, err := NewBatchEnvelope([][]float64{{1, 2}, {1}}, 1); err == nil {
+		t.Error("ragged golden runs should error")
+	}
+	if _, err := NewBatchEnvelope([][]float64{{}, {}}, 1); err == nil {
+		t.Error("empty golden runs should error")
+	}
+	if _, err := NewBatchEnvelope([][]float64{{1}, {2}}, -1); err == nil {
+		t.Error("negative slack should error")
+	}
+}
+
+func TestFrequencyMonitorPaceWarning(t *testing.T) {
+	// Quota 40 per 1000 samples; events every 10 samples → pace 100.
+	m, err := NewFrequencyMonitor(40, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	var warned *Warning
+	for at := 0; at < 1000 && warned == nil; at++ {
+		if w, ok := m.Observe(at, at%10 == 9); ok {
+			warned = &w
+		}
+	}
+	if warned == nil {
+		t.Fatal("pace 2.5x over quota never warned")
+	}
+	if warned.At > 500 {
+		t.Errorf("warned at %d; the pace is obvious by mid-period", warned.At)
+	}
+}
+
+func TestFrequencyMonitorQuietPeriod(t *testing.T) {
+	m, err := NewFrequencyMonitor(40, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	// 20 events per period: under quota, no warning across two periods.
+	for at := 0; at < 2000; at++ {
+		if w, ok := m.Observe(at, at%50 == 49); ok {
+			t.Fatalf("false alarm at %d: %+v", at, w)
+		}
+	}
+	if m.Count() == 0 {
+		t.Error("count should be tracking events")
+	}
+}
+
+func TestFrequencyMonitorPeriodRollover(t *testing.T) {
+	m, err := NewFrequencyMonitor(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	// Breach in period 1.
+	fired := false
+	for at := 0; at < 100; at++ {
+		if _, ok := m.Observe(at, at < 3); ok {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("3 events against quota 2 should warn")
+	}
+	// Period 2 is quiet: counter must reset and not warn.
+	for at := 100; at < 200; at++ {
+		if w, ok := m.Observe(at, false); ok {
+			t.Fatalf("warning after rollover: %+v", w)
+		}
+	}
+	if m.Count() != 0 {
+		t.Errorf("count %d after quiet period, want 0", m.Count())
+	}
+}
+
+func TestFrequencyMonitorValidation(t *testing.T) {
+	if _, err := NewFrequencyMonitor(0, 10); err == nil {
+		t.Error("quota 0 should error")
+	}
+	if _, err := NewFrequencyMonitor(1, 0); err == nil {
+		t.Error("period 0 should error")
+	}
+}
+
+// TestFrequencyMonitorOnChickenStream ties Appendix A back to the paper's
+// §5 data: count fully observed dustbathing bouts per simulated day and
+// warn when the pace exceeds the cull quota.
+func TestFrequencyMonitorOnChickenStream(t *testing.T) {
+	cfg := synth.DefaultChickenConfig()
+	cfg.DustbathProb = 0.25 // a mite-ridden chicken
+	data, intervals, err := synth.ChickenStream(synth.NewRand(21), cfg, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := len(data) // one "day" = the whole stream
+	dust := synth.IntervalsOf(intervals, synth.Dustbathing)
+	quota := len(dust) / 2 // pace is clearly double the quota
+	if quota < 1 {
+		t.Skip("not enough bouts")
+	}
+	m, err := NewFrequencyMonitor(quota, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	// Events complete at bout ends — fully observed, per Appendix A.
+	ends := map[int]bool{}
+	for _, iv := range dust {
+		ends[iv.End-1] = true
+	}
+	warnedAt := -1
+	for at := 0; at < day; at++ {
+		if _, ok := m.Observe(at, ends[at]); ok {
+			warnedAt = at
+			break
+		}
+	}
+	if warnedAt < 0 {
+		t.Fatal("double-quota pace never warned")
+	}
+	if warnedAt > day*3/4 {
+		t.Errorf("warned at %d of %d; early intervention should come sooner", warnedAt, day)
+	}
+}
