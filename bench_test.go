@@ -253,6 +253,137 @@ func BenchmarkAblationEarlyAbandon(b *testing.B) {
 	})
 }
 
+// --- engine benches: incremental vs from-scratch, serial vs parallel --------
+
+// replayFromScratch is the pre-engine evaluation loop: the pure
+// ClassifyPrefix path recomputes every training-set distance for every
+// prefix length. The incremental path (etsc.RunOne via OpenSession) must
+// beat it on the same workload — that delta is the engine's reason to
+// exist.
+func replayFromScratch(c etsc.EarlyClassifier, series []float64, step int) {
+	full := c.FullLength()
+	if full > len(series) {
+		full = len(series)
+	}
+	for l := step; l <= full; l += step {
+		if d := c.ClassifyPrefix(series[:l]); d.Ready {
+			return
+		}
+	}
+	c.ForcedLabel(series[:full])
+}
+
+// BenchmarkEngineIncrementalVsPure pits the incremental session path
+// against the from-scratch ClassifyPrefix replay over a full test set, for
+// the classifiers whose sessions carry running accumulator state.
+func BenchmarkEngineIncrementalVsPure(b *testing.B) {
+	train, test := benchSplit(b)
+	builds := []struct {
+		name string
+		make func() (etsc.EarlyClassifier, error)
+	}{
+		{"ECTS", func() (etsc.EarlyClassifier, error) { return etsc.NewECTS(train, false, 0) }},
+		{"TEASER", func() (etsc.EarlyClassifier, error) { return etsc.NewTEASER(train, etsc.DefaultTEASERConfig()) }},
+		{"ProbThreshold", func() (etsc.EarlyClassifier, error) { return etsc.NewProbThreshold(train, 0.8, 5) }},
+	}
+	for _, bc := range builds {
+		c, err := bc.make()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bc.name+"/from-scratch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, in := range test.Instances {
+					replayFromScratch(c, in.Series, 4)
+				}
+			}
+		})
+		b.Run(bc.name+"/incremental", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, in := range test.Instances {
+					etsc.RunOne(c, in.Series, 4)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonitorEngine measures the two engine wins on the monitor hot
+// path: sessions over from-scratch replay, and candidate fan-out over the
+// worker pool. "from-scratch-serial" reproduces the pre-engine monitor
+// inner loop; the Run variants use the incremental engine at increasing
+// worker counts. All variants produce identical detections.
+func BenchmarkMonitorEngine(b *testing.B) {
+	train, _ := benchSplit(b)
+	c, err := etsc.NewTEASER(train, etsc.DefaultTEASERConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := randomSeries(8_000, 5)
+	L := c.FullLength()
+	b.Run("from-scratch-serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for start := 0; start+L <= len(data); start += 8 {
+				replayFromScratch(c, data[start:start+L], 8)
+			}
+		}
+		b.SetBytes(int64(len(data) * 8))
+	})
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("incremental-workers=%d", workers)
+		if workers == 0 {
+			name = "incremental-workers=NumCPU"
+		}
+		mon := &stream.Monitor{Classifier: c, Stride: 8, Step: 8, Suppress: 75, Parallelism: workers}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mon.Run(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(data) * 8))
+		})
+	}
+}
+
+// BenchmarkLOOCVParallel measures worker-pool scaling on leave-one-out
+// cross-validation under the quadratic-cost DTW distance.
+func BenchmarkLOOCVParallel(b *testing.B) {
+	train, _ := benchSplit(b)
+	dist := classify.DTWDistance{Radius: 10}
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=NumCPU"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				classify.LeaveOneOutParallel(train, dist, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkPrefixSweepParallel measures worker-pool scaling on the Fig. 9
+// per-prefix evaluation.
+func BenchmarkPrefixSweepParallel(b *testing.B) {
+	train, test := benchSplit(b)
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=NumCPU"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := classify.PrefixSweepParallel(train, test, 20, train.SeriesLen(), 10, true,
+					classify.EuclideanDistance{}, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- micro-benchmarks of the hot kernels ------------------------------------
 
 func randomSeries(n int, seed int64) ts.Series {
@@ -289,6 +420,34 @@ func BenchmarkZNorm150(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ts.ZNormInto(dst, x)
 	}
+}
+
+// BenchmarkZNormPrefixDist compares growing-prefix z-normalized distance
+// maintained incrementally (O(1) per point) against recomputation from
+// scratch at every length (O(l) per point, O(L²) total).
+func BenchmarkZNormPrefixDist(b *testing.B) {
+	q := randomSeries(150, 1)
+	ref := ts.ZNorm(randomSeries(150, 2))
+	b.Run("from-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for l := 1; l <= len(q); l++ {
+				ts.SquaredEuclidean(ts.ZNorm(q[:l]), ref[:l])
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var rn ts.RunningNorm
+			z := ts.NewZNormPrefixDist(&rn, ref)
+			for l := 1; l <= len(q); l++ {
+				z.Extend(q[l-1 : l])
+				rn.Add(q[l-1])
+				z.D2()
+			}
+		}
+	})
 }
 
 func BenchmarkDistanceProfile100k(b *testing.B) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	etsc-repro [-quick] [-seed N] [-run fig1,fig2,...]
+//	etsc-repro [-quick] [-seed N] [-run fig1,fig2,...] [-workers N]
 //
 // With no -run flag every experiment runs, in paper order. Output is the
 // text tables recorded in EXPERIMENTS.md.
@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"strings"
 	"time"
 
@@ -33,9 +34,11 @@ func wrap[T tabler](f func(experiments.Config) (T, error)) func(experiments.Conf
 	return func(cfg experiments.Config) (fmt.Stringer, error) {
 		r, err := f(cfg)
 		if err != nil {
-			// The result may still be renderable for diagnosis.
+			// The result may still be renderable for diagnosis. The
+			// runners return typed nil pointers on hard errors, which stay
+			// non-nil through the any() conversion — compare via reflect.
 			var s fmt.Stringer
-			if any(r) != nil {
+			if rv := reflect.ValueOf(any(r)); rv.Kind() == reflect.Pointer && !rv.IsNil() {
 				s = stringerFunc(r.Table)
 			}
 			return s, err
@@ -52,9 +55,14 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sizes (seconds instead of minutes)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	run := flag.String("run", "", "comma-separated experiment names (default: all)")
+	workers := flag.Int("workers", 0, "worker pool size for parallel evaluation (0 = NumCPU, 1 = serial; results identical)")
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "etsc-repro: -workers must be >= 0 (0 = NumCPU), got %d\n", *workers)
+		os.Exit(2)
+	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallelism: *workers}
 
 	all := []runner{
 		{"fig1", "cat/dog utterances in the UCR format", wrap(experiments.RunFig1)},

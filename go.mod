@@ -1,0 +1,3 @@
+module etsc
+
+go 1.22

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"etsc/internal/dataset"
+	"etsc/internal/par"
 	"etsc/internal/ts"
 )
 
@@ -185,14 +186,26 @@ func (e Evaluation) ErrorRate() float64 { return 1 - e.Accuracy() }
 
 // Evaluate classifies every instance of test and tallies the results.
 func (c *KNN) Evaluate(test *dataset.Dataset) Evaluation {
+	return c.EvaluateParallel(test, 1)
+}
+
+// EvaluateParallel is Evaluate with the per-instance classifications fanned
+// across a worker pool of the given size (<= 0 means one worker per CPU).
+// Classification is read-only on the model, and the tally is assembled from
+// per-instance predictions in instance order, so the result is identical
+// for every worker count.
+func (c *KNN) EvaluateParallel(test *dataset.Dataset, workers int) Evaluation {
+	preds := make([]int, test.Len())
+	par.Do(test.Len(), workers, func(i int) {
+		preds[i] = c.Classify(test.Instances[i].Series)
+	})
 	ev := Evaluation{Confusion: NewConfusionMatrix()}
-	for _, in := range test.Instances {
-		pred := c.Classify(in.Series)
+	for i, in := range test.Instances {
 		ev.Total++
-		if pred == in.Label {
+		if preds[i] == in.Label {
 			ev.Correct++
 		}
-		ev.Confusion.Add(in.Label, pred)
+		ev.Confusion.Add(in.Label, preds[i])
 	}
 	return ev
 }
@@ -200,19 +213,32 @@ func (c *KNN) Evaluate(test *dataset.Dataset) Evaluation {
 // LeaveOneOut runs leave-one-out cross-validation of a 1NN classifier with
 // the given distance over d, returning the evaluation.
 func LeaveOneOut(d *dataset.Dataset, dist Distance) Evaluation {
+	return LeaveOneOutParallel(d, dist, 1)
+}
+
+// LeaveOneOutParallel is LeaveOneOut with the held-out scans fanned across
+// a worker pool (<= 0 means one worker per CPU); each held-out instance's
+// nearest-neighbour scan is independent, so the evaluation is identical for
+// every worker count.
+func LeaveOneOutParallel(d *dataset.Dataset, dist Distance, workers int) Evaluation {
 	c := &KNN{K: 1, Distance: dist, train: d}
+	preds := make([]int, d.Len())
+	scored := make([]bool, d.Len())
+	par.Do(d.Len(), workers, func(i int) {
+		if ns := c.Neighbors(d.Instances[i].Series, i); len(ns) > 0 {
+			preds[i], scored[i] = ns[0].Label, true
+		}
+	})
 	ev := Evaluation{Confusion: NewConfusionMatrix()}
 	for i, in := range d.Instances {
-		ns := c.Neighbors(in.Series, i)
-		if len(ns) == 0 {
+		if !scored[i] {
 			continue
 		}
-		pred := ns[0].Label
 		ev.Total++
-		if pred == in.Label {
+		if preds[i] == in.Label {
 			ev.Correct++
 		}
-		ev.Confusion.Add(in.Label, pred)
+		ev.Confusion.Add(in.Label, preds[i])
 	}
 	return ev
 }
@@ -228,6 +254,14 @@ type PrefixSweepPoint struct {
 // true, each truncation is re-z-normalized — the correct handling the paper
 // applies ("we are correctly z-normalizing the truncated data, see Table 1").
 func PrefixSweep(train, test *dataset.Dataset, from, to, by int, renormalize bool, dist Distance) ([]PrefixSweepPoint, error) {
+	return PrefixSweepParallel(train, test, from, to, by, renormalize, dist, 1)
+}
+
+// PrefixSweepParallel is PrefixSweep with the per-length evaluations fanned
+// across a worker pool (<= 0 means one worker per CPU). Each prefix length
+// is an independent truncate-train-evaluate unit writing its own sweep
+// point, so the curve is identical for every worker count.
+func PrefixSweepParallel(train, test *dataset.Dataset, from, to, by int, renormalize bool, dist Distance, workers int) ([]PrefixSweepPoint, error) {
 	if from < 1 || to > train.SeriesLen() || from > to || by < 1 {
 		return nil, fmt.Errorf("classify: PrefixSweep range %d..%d step %d invalid for length %d",
 			from, to, by, train.SeriesLen())
@@ -235,22 +269,36 @@ func PrefixSweep(train, test *dataset.Dataset, from, to, by int, renormalize boo
 	if train.SeriesLen() != test.SeriesLen() {
 		return nil, fmt.Errorf("classify: train length %d != test length %d", train.SeriesLen(), test.SeriesLen())
 	}
-	var out []PrefixSweepPoint
+	lengths := make([]int, 0, (to-from)/by+1)
 	for n := from; n <= to; n += by {
+		lengths = append(lengths, n)
+	}
+	out := make([]PrefixSweepPoint, len(lengths))
+	errs := make([]error, len(lengths))
+	par.Do(len(lengths), workers, func(i int) {
+		n := lengths[i]
 		trn, err := train.Truncate(n, renormalize)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		tst, err := test.Truncate(n, renormalize)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		knn, err := NewKNN(trn, 1, dist)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		ev := knn.Evaluate(tst)
-		out = append(out, PrefixSweepPoint{PrefixLen: n, ErrorRate: ev.ErrorRate()})
+		out[i] = PrefixSweepPoint{PrefixLen: n, ErrorRate: ev.ErrorRate()}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,89 @@
+package classify
+
+import (
+	"reflect"
+	"testing"
+
+	"etsc/internal/dataset"
+	"etsc/internal/synth"
+)
+
+func sweepFixture(t *testing.T) (train, test *dataset.Dataset) {
+	t.Helper()
+	cfg := synth.DefaultGunPointConfig()
+	cfg.PerClassSize = 15
+	d, err := synth.GunPoint(synth.NewRand(42), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err = d.Split(synth.NewRand(7), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+// TestLeaveOneOutParallelByteIdentical asserts LOOCV is identical for every
+// worker count, confusion matrix included.
+func TestLeaveOneOutParallelByteIdentical(t *testing.T) {
+	train, _ := sweepFixture(t)
+	for _, dist := range []Distance{EuclideanDistance{}, ZNormEuclideanDistance{}, DTWDistance{Radius: 5}} {
+		want := LeaveOneOut(train, dist)
+		for _, workers := range []int{0, 2, 3, 16} {
+			got := LeaveOneOutParallel(train, dist, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s workers=%d: %+v != serial %+v", dist.Name(), workers, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluateParallelByteIdentical does the same for holdout evaluation.
+func TestEvaluateParallelByteIdentical(t *testing.T) {
+	train, test := sweepFixture(t)
+	knn, err := NewKNN(train, 1, EuclideanDistance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := knn.Evaluate(test)
+	for _, workers := range []int{0, 2, 5} {
+		got := knn.EvaluateParallel(test, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: %+v != serial %+v", workers, got, want)
+		}
+	}
+}
+
+// TestPrefixSweepParallelByteIdentical asserts the Fig. 9 sweep curve is
+// identical for every worker count.
+func TestPrefixSweepParallelByteIdentical(t *testing.T) {
+	train, test := sweepFixture(t)
+	want, err := PrefixSweep(train, test, 10, train.SeriesLen(), 7, true, EuclideanDistance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 32} {
+		got, err := PrefixSweepParallel(train, test, 10, train.SeriesLen(), 7, true, EuclideanDistance{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: sweep diverges\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestPrefixSweepParallelValidation keeps the parallel path's input checks
+// aligned with the serial path's.
+func TestPrefixSweepParallelValidation(t *testing.T) {
+	train, test := sweepFixture(t)
+	if _, err := PrefixSweepParallel(train, test, 0, 10, 2, true, EuclideanDistance{}, 0); err == nil {
+		t.Error("from=0 accepted")
+	}
+	if _, err := PrefixSweepParallel(train, test, 5, train.SeriesLen()+1, 2, true, EuclideanDistance{}, 0); err == nil {
+		t.Error("to beyond series length accepted")
+	}
+	if _, err := PrefixSweepParallel(train, test, 5, 10, 0, true, EuclideanDistance{}, 0); err == nil {
+		t.Error("by=0 accepted")
+	}
+}

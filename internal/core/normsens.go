@@ -38,6 +38,15 @@ func (n NormSensitivity) Brittle(tol float64) bool { return n.Drop() > tol }
 // from rng in [-maxShift, maxShift]. step is the prefix increment fed to
 // the classifier.
 func MeasureNormSensitivity(c etsc.EarlyClassifier, test *dataset.Dataset, rng *rand.Rand, maxShift float64, step int) (NormSensitivity, error) {
+	return MeasureNormSensitivityParallel(c, test, rng, maxShift, step, 1)
+}
+
+// MeasureNormSensitivityParallel is MeasureNormSensitivity with both
+// evaluations fanned across a worker pool of the given size (<= 0 means
+// one worker per CPU). rng is consumed only by the serial Denormalize call
+// between the two evaluations — never inside the pool — so the measurement
+// is identical for every worker count.
+func MeasureNormSensitivityParallel(c etsc.EarlyClassifier, test *dataset.Dataset, rng *rand.Rand, maxShift float64, step, workers int) (NormSensitivity, error) {
 	if c == nil {
 		return NormSensitivity{}, errors.New("core: nil classifier")
 	}
@@ -47,11 +56,11 @@ func MeasureNormSensitivity(c etsc.EarlyClassifier, test *dataset.Dataset, rng *
 	if maxShift <= 0 {
 		return NormSensitivity{}, fmt.Errorf("core: maxShift must be positive, got %v", maxShift)
 	}
-	normal, err := etsc.Evaluate(c, test, step)
+	normal, err := etsc.EvaluateParallel(c, test, step, workers)
 	if err != nil {
 		return NormSensitivity{}, err
 	}
-	denorm, err := etsc.Evaluate(c, test.Denormalize(rng, maxShift), step)
+	denorm, err := etsc.EvaluateParallel(c, test.Denormalize(rng, maxShift), step, workers)
 	if err != nil {
 		return NormSensitivity{}, err
 	}

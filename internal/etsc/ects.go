@@ -33,7 +33,8 @@ type ECTS struct {
 	MinSupport int
 
 	train *dataset.Dataset
-	mpl   []int // minimum prediction length per training instance
+	refs  [][]float64 // training series, for incremental distance banks
+	mpl   []int       // minimum prediction length per training instance
 	full  int
 }
 
@@ -140,7 +141,8 @@ func NewECTS(train *dataset.Dataset, relaxed bool, minSupport int) (*ECTS, error
 		mpl[i] = stableFrom[i]
 	}
 
-	return &ECTS{Relaxed: relaxed, MinSupport: minSupport, train: train, mpl: mpl, full: L}, nil
+	return &ECTS{Relaxed: relaxed, MinSupport: minSupport, train: train,
+		refs: seriesRefs(train), mpl: mpl, full: L}, nil
 }
 
 // Name implements EarlyClassifier.
@@ -186,52 +188,40 @@ func (e *ECTS) PosteriorPrefix(prefix []float64) map[int]float64 {
 	return softminPosterior(e.train, prefix)
 }
 
-// NewSession implements SessionClassifier with incremental squared
-// distances to every training prefix: each Step costs O(n · Δl) instead of
-// the stateless O(n · l).
+// NewSession implements SessionClassifier over the incremental session.
 func (e *ECTS) NewSession() Session {
-	return &ectsSession{e: e, d2: make([]float64, e.train.Len())}
+	return SessionFromIncremental(e.NewIncrementalSession())
+}
+
+// NewIncrementalSession implements IncrementalClassifier with running
+// squared distances to every training prefix: each Extend costs O(n · Δl)
+// instead of the stateless O(n · l).
+func (e *ECTS) NewIncrementalSession() IncrementalSession {
+	return &ectsSession{e: e, bank: ts.NewPrefixDistBank(e.refs)}
 }
 
 type ectsSession struct {
 	e        *ECTS
-	d2       []float64 // running squared distance to each training instance
-	seen     int       // prefix length already accumulated
+	bank     *ts.PrefixDistBank // running squared distance to each training prefix
 	done     bool
 	decision Decision
 }
 
-// Step implements Session.
-func (s *ectsSession) Step(prefix []float64) Decision {
+// Extend implements IncrementalSession.
+func (s *ectsSession) Extend(points []float64) Decision {
 	if s.done {
 		return s.decision
 	}
-	l := len(prefix)
-	if l > s.e.full {
-		l = s.e.full
+	if room := s.e.full - s.bank.Len(); len(points) > room {
+		points = points[:room]
 	}
-	for i, in := range s.e.train.Instances {
-		acc := s.d2[i]
-		series := in.Series
-		for t := s.seen; t < l; t++ {
-			d := prefix[t] - series[t]
-			acc += d * d
-		}
-		s.d2[i] = acc
-	}
-	s.seen = l
-
-	best, bestD := -1, math.Inf(1)
-	for i, d := range s.d2 {
-		if d < bestD {
-			best, bestD = i, d
-		}
-	}
+	s.bank.Extend(points)
+	best, _ := s.bank.Min()
 	if best < 0 {
 		return Decision{}
 	}
 	label := s.e.train.Instances[best].Label
-	if s.e.mpl[best] <= l {
+	if s.e.mpl[best] <= s.bank.Len() {
 		s.done = true
 		s.decision = Decision{Label: label, Ready: true}
 		return s.decision
@@ -269,16 +259,31 @@ func softminPosteriorT(train *dataset.Dataset, prefix []float64, sharpness float
 	if l < 1 || l > train.SeriesLen() {
 		return nil
 	}
-	nearest := map[int]float64{}
-	for _, in := range train.Instances {
-		d := math.Sqrt(ts.SquaredEuclidean(prefix, in.Series[:l]))
+	d2 := make([]float64, train.Len())
+	for i, in := range train.Instances {
+		d2[i] = ts.SquaredEuclidean(prefix, in.Series[:l])
+	}
+	return softminFromSquaredDists(train, train.Labels(), d2, sharpness)
+}
+
+// softminFromSquaredDists converts per-training-instance squared prefix
+// distances into the softmin class posterior. labels must be the dataset's
+// sorted label set (train.Labels(), which hot paths cache). It is shared by
+// the pure path (which computes the distances from scratch) and the
+// incremental sessions (which read them from a running PrefixDistBank); all
+// reductions iterate in deterministic order so both paths produce
+// bit-identical posteriors.
+func softminFromSquaredDists(train *dataset.Dataset, labels []int, d2 []float64, sharpness float64) map[int]float64 {
+	nearest := make(map[int]float64, len(labels))
+	for i, in := range train.Instances {
+		d := math.Sqrt(d2[i])
 		if cur, ok := nearest[in.Label]; !ok || d < cur {
 			nearest[in.Label] = d
 		}
 	}
 	mean := 0.0
-	for _, d := range nearest {
-		mean += d
+	for _, lab := range labels {
+		mean += nearest[lab]
 	}
 	mean /= float64(len(nearest))
 	if mean < 1e-12 {
@@ -286,8 +291,8 @@ func softminPosteriorT(train *dataset.Dataset, prefix []float64, sharpness float
 	}
 	sum := 0.0
 	out := make(map[int]float64, len(nearest))
-	for lab, d := range nearest {
-		p := math.Exp(-sharpness * d / mean)
+	for _, lab := range labels {
+		p := math.Exp(-sharpness * nearest[lab] / mean)
 		out[lab] = p
 		sum += p
 	}
@@ -295,6 +300,20 @@ func softminPosteriorT(train *dataset.Dataset, prefix []float64, sharpness float
 		out[lab] /= sum
 	}
 	return out
+}
+
+// maxPosterior returns the highest-probability label of a posterior,
+// breaking exact ties toward the smallest label so that every caller —
+// pure or incremental — resolves them identically.
+func maxPosterior(post map[int]float64) (label int, p float64) {
+	first := true
+	for lab, pr := range post {
+		if first || pr > p || (pr == p && lab < label) {
+			label, p = lab, pr
+			first = false
+		}
+	}
+	return label, p
 }
 
 func int32SlicesEqual(a, b []int32) bool {

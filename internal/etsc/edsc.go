@@ -354,29 +354,41 @@ func (e *EDSC) ForcedLabel(series []float64) int {
 	return best
 }
 
-// NewSession implements SessionClassifier with an incremental scanner that
-// only examines windows not yet covered by earlier prefixes.
+// NewSession implements SessionClassifier over the incremental session.
 func (e *EDSC) NewSession() Session {
+	return SessionFromIncremental(e.NewIncrementalSession())
+}
+
+// NewIncrementalSession implements IncrementalClassifier with a scanner
+// that only examines the windows each new batch of points completes: every
+// (shapelet, window) pair is measured at most once per stream, where the
+// pure path rescans the whole prefix at every opportunity. A shapelet match
+// does not depend on the prefix length that revealed the window, so the
+// decision point and label equal the pure path's.
+func (e *EDSC) NewIncrementalSession() IncrementalSession {
 	return &edscSession{e: e, nextStart: make([]int, len(e.Shapelets))}
 }
 
 type edscSession struct {
 	e         *EDSC
+	buf       []float64
 	nextStart []int // per shapelet, the next window start to examine
 	done      bool
 	decision  Decision
 }
 
-// Step implements Session.
-func (s *edscSession) Step(prefix []float64) Decision {
+// Extend implements IncrementalSession.
+func (s *edscSession) Extend(points []float64) Decision {
 	if s.done {
 		return s.decision
 	}
-	for si, sh := range s.e.Shapelets {
+	s.buf = appendClamped(s.buf, points, s.e.full)
+	for si := range s.e.Shapelets {
+		sh := &s.e.Shapelets[si]
 		m := len(sh.Data)
 		cut := sh.Threshold * sh.Threshold
-		for st := s.nextStart[si]; st+m <= len(prefix); st++ {
-			if d, ok := ts.SquaredEuclideanEA(sh.Data, prefix[st:st+m], cut); ok && d <= cut {
+		for st := s.nextStart[si]; st+m <= len(s.buf); st++ {
+			if d, ok := ts.SquaredEuclideanEA(sh.Data, s.buf[st:st+m], cut); ok && d <= cut {
 				s.done = true
 				s.decision = Decision{Label: sh.Label, Ready: true}
 				return s.decision

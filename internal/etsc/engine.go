@@ -1,0 +1,160 @@
+package etsc
+
+import (
+	"etsc/internal/dataset"
+	"etsc/internal/par"
+)
+
+// This file is the incremental evaluation engine: a session API that feeds
+// classifiers only the newly arrived points of a stream, instead of
+// replaying the whole growing prefix on every call. ClassifyPrefix remains
+// the pure reference path; every incremental session is required to produce
+// identical decisions (label, readiness, decision point), which
+// engine_test.go asserts for every classifier in the package.
+
+// IncrementalSession accumulates one stream's state point-at-a-time.
+// Compared to Session.Step (which receives the whole prefix each call),
+// Extend receives only the points that arrived since the previous call, so
+// a well-implemented session does O(Δ) work per call where the pure path
+// does O(l).
+type IncrementalSession interface {
+	// Extend appends newly arrived points to the stream seen so far and
+	// returns the classifier's current decision. Once a decision is Ready
+	// the session latches: further Extends return the same decision.
+	// Points beyond the classifier's FullLength are ignored.
+	Extend(points []float64) Decision
+}
+
+// IncrementalClassifier is implemented by classifiers with a native
+// incremental session — per-exemplar accumulator state (running distance
+// sums, log-posterior sums, scan positions) that a whole-prefix replay
+// would rebuild from scratch at every length.
+type IncrementalClassifier interface {
+	EarlyClassifier
+	NewIncrementalSession() IncrementalSession
+}
+
+// OpenSession returns the most efficient per-stream session the classifier
+// supports: its native incremental session when it implements
+// IncrementalClassifier, a buffering adapter over its stateful Session when
+// it implements SessionClassifier, and a buffering adapter over the pure
+// ClassifyPrefix path otherwise. Every evaluation harness (RunOne,
+// stream.Monitor, stream.Online) drives classifiers through this single
+// entry point.
+func OpenSession(c EarlyClassifier) IncrementalSession {
+	if ic, ok := c.(IncrementalClassifier); ok {
+		return ic.NewIncrementalSession()
+	}
+	if sc, ok := c.(SessionClassifier); ok {
+		return &stepAdapter{sess: sc.NewSession(), full: c.FullLength()}
+	}
+	return &pureAdapter{c: c, full: c.FullLength()}
+}
+
+// stepAdapter presents a whole-prefix Session as an IncrementalSession by
+// buffering the stream.
+type stepAdapter struct {
+	sess Session
+	full int
+	buf  []float64
+	done bool
+	dec  Decision
+}
+
+// Extend implements IncrementalSession.
+func (a *stepAdapter) Extend(points []float64) Decision {
+	if a.done {
+		return a.dec
+	}
+	a.buf = appendClamped(a.buf, points, a.full)
+	d := a.sess.Step(a.buf)
+	if d.Ready {
+		a.done, a.dec = true, d
+	}
+	return d
+}
+
+// pureAdapter presents a stateless classifier as an IncrementalSession by
+// buffering the stream and replaying the prefix — the reference path's cost
+// model, behind the engine API.
+type pureAdapter struct {
+	c    EarlyClassifier
+	full int
+	buf  []float64
+	done bool
+	dec  Decision
+}
+
+// Extend implements IncrementalSession.
+func (a *pureAdapter) Extend(points []float64) Decision {
+	if a.done {
+		return a.dec
+	}
+	a.buf = appendClamped(a.buf, points, a.full)
+	d := a.c.ClassifyPrefix(a.buf)
+	if d.Ready {
+		a.done, a.dec = true, d
+	}
+	return d
+}
+
+// SessionFromIncremental adapts an IncrementalSession to the legacy
+// whole-prefix Session interface; classifiers with native incremental
+// sessions implement NewSession with it so both APIs share one state
+// machine.
+func SessionFromIncremental(inc IncrementalSession) Session {
+	return &incAsStep{inc: inc}
+}
+
+type incAsStep struct {
+	inc  IncrementalSession
+	seen int
+}
+
+// Step implements Session. Each prefix must extend the previous call's, per
+// the Session contract.
+func (w *incAsStep) Step(prefix []float64) Decision {
+	if len(prefix) <= w.seen {
+		return w.inc.Extend(nil)
+	}
+	d := w.inc.Extend(prefix[w.seen:])
+	w.seen = len(prefix)
+	return d
+}
+
+// appendClamped appends points to buf, dropping any beyond full points
+// total.
+func appendClamped(buf, points []float64, full int) []float64 {
+	if room := full - len(buf); len(points) > room {
+		points = points[:room]
+	}
+	return append(buf, points...)
+}
+
+// seriesRefs collects the instance series of a dataset as a reference set
+// for incremental distance banks.
+func seriesRefs(d *dataset.Dataset) [][]float64 {
+	refs := make([][]float64, d.Len())
+	for i, in := range d.Instances {
+		refs[i] = in.Series
+	}
+	return refs
+}
+
+// EvaluateParallel is Evaluate with the per-exemplar runs fanned across a
+// worker pool of the given size (workers <= 0 means one worker per CPU).
+// Classifiers are read-only after training and sessions are per-exemplar,
+// so the outcome slice — ordered by test instance, exactly as Evaluate
+// orders it — is identical for every worker count.
+func EvaluateParallel(c EarlyClassifier, test *dataset.Dataset, step, workers int) (Summary, error) {
+	if err := checkEvaluate(c, test); err != nil {
+		return Summary{}, err
+	}
+	s := Summary{Full: c.FullLength(), Outcomes: make([]Outcome, test.Len())}
+	par.Do(test.Len(), workers, func(i int) {
+		in := test.Instances[i]
+		label, length, forced := RunOne(c, in.Series, step)
+		s.Outcomes[i] = Outcome{Predicted: label, Actual: in.Label, Length: length, Forced: forced}
+	})
+	return s, nil
+}

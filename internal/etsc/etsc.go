@@ -139,9 +139,11 @@ func (s Summary) HarmonicMean() float64 {
 	return 2 * a * e / (a + e)
 }
 
-// RunOne feeds prefixes of series (lengths step, 2·step, … up to
-// c.FullLength()) to the classifier and returns the decision point. If the
-// classifier never commits it is forced at full length.
+// RunOne feeds series to a fresh session of the classifier in increments
+// of step points (decision opportunities at lengths step, 2·step, … up to
+// c.FullLength()) and returns the decision point. If the classifier never
+// commits it is forced at full length. Sessions come from OpenSession, so
+// classifiers with native incremental sessions pay O(Δ) per opportunity.
 func RunOne(c EarlyClassifier, series []float64, step int) (label, length int, forced bool) {
 	if step < 1 {
 		step = 1
@@ -150,17 +152,11 @@ func RunOne(c EarlyClassifier, series []float64, step int) (label, length int, f
 	if full > len(series) {
 		full = len(series)
 	}
-	var sess Session
-	if sc, ok := c.(SessionClassifier); ok {
-		sess = sc.NewSession()
-	}
+	sess := OpenSession(c)
+	prev := 0
 	for l := step; l <= full; l += step {
-		var d Decision
-		if sess != nil {
-			d = sess.Step(series[:l])
-		} else {
-			d = c.ClassifyPrefix(series[:l])
-		}
+		d := sess.Extend(series[prev:l])
+		prev = l
 		if d.Ready {
 			return d.Label, l, false
 		}
@@ -168,24 +164,23 @@ func RunOne(c EarlyClassifier, series []float64, step int) (label, length int, f
 	return c.ForcedLabel(series[:full]), full, true
 }
 
-// Evaluate runs the classifier over every instance of test, feeding
-// prefixes in increments of step points.
-func Evaluate(c EarlyClassifier, test *dataset.Dataset, step int) (Summary, error) {
+// checkEvaluate validates an evaluation's inputs.
+func checkEvaluate(c EarlyClassifier, test *dataset.Dataset) error {
 	if test == nil || test.Len() == 0 {
-		return Summary{}, errors.New("etsc: empty test set")
+		return errors.New("etsc: empty test set")
 	}
 	if test.SeriesLen() < c.FullLength() {
-		return Summary{}, fmt.Errorf("etsc: test series length %d shorter than model length %d",
+		return fmt.Errorf("etsc: test series length %d shorter than model length %d",
 			test.SeriesLen(), c.FullLength())
 	}
-	s := Summary{Full: c.FullLength()}
-	for _, in := range test.Instances {
-		label, length, forced := RunOne(c, in.Series, step)
-		s.Outcomes = append(s.Outcomes, Outcome{
-			Predicted: label, Actual: in.Label, Length: length, Forced: forced,
-		})
-	}
-	return s, nil
+	return nil
+}
+
+// Evaluate runs the classifier over every instance of test, feeding
+// prefixes in increments of step points. EvaluateParallel fans the same
+// work across a worker pool with identical output.
+func Evaluate(c EarlyClassifier, test *dataset.Dataset, step int) (Summary, error) {
+	return EvaluateParallel(c, test, step, 1)
 }
 
 // Trace records the evolving state of a classifier over one incoming
@@ -212,20 +207,14 @@ func TraceRun(c EarlyClassifier, series []float64, step int) []TracePoint {
 	if full > len(series) {
 		full = len(series)
 	}
-	var sess Session
-	if sc, ok := c.(SessionClassifier); ok {
-		sess = sc.NewSession()
-	}
+	sess := OpenSession(c)
 	pp, hasPost := c.(PosteriorProvider)
 	var out []TracePoint
 	committed := false
+	prev := 0
 	for l := step; l <= full; l += step {
-		var d Decision
-		if sess != nil {
-			d = sess.Step(series[:l])
-		} else {
-			d = c.ClassifyPrefix(series[:l])
-		}
+		d := sess.Extend(series[prev:l])
+		prev = l
 		tp := TracePoint{Length: l}
 		if !committed && d.Ready {
 			tp.Decision = d

@@ -208,7 +208,13 @@ func (r *RelClass) Reliability(prefix []float64) (label int, reliability float64
 	if l > r.full {
 		l = r.full
 	}
-	lp := r.logPosterior(prefix, l)
+	return r.reliabilityFromLog(r.logPosterior(prefix, l), l)
+}
+
+// reliabilityFromLog is Reliability on an already-accumulated per-class log
+// posterior of the first l points; the incremental session feeds it running
+// sums. lp is not modified.
+func (r *RelClass) reliabilityFromLog(lp []float64, l int) (label int, reliability float64) {
 	post := posteriorFromLog(lp)
 	mapIdx := argmax(post)
 	if l == r.full {
@@ -248,6 +254,55 @@ func (r *RelClass) ClassifyPrefix(prefix []float64) Decision {
 	label, rel := r.Reliability(prefix)
 	ready := rel >= 1-r.Tau && len(prefix) >= r.MinPrefix
 	return Decision{Label: label, Ready: ready}
+}
+
+// NewIncrementalSession implements IncrementalClassifier with running
+// per-class log-posterior sums: each Extend adds only the new points'
+// Gaussian log-likelihoods (O(classes · Δl)) before the Monte Carlo
+// reliability estimate, instead of re-integrating the whole prefix.
+func (r *RelClass) NewIncrementalSession() IncrementalSession {
+	lp := make([]float64, len(r.labels))
+	for ci := range r.labels {
+		lp[ci] = math.Log(r.prior[ci])
+	}
+	return &relClassSession{r: r, lp: lp}
+}
+
+type relClassSession struct {
+	r    *RelClass
+	lp   []float64 // running per-class log posterior of the seen prefix
+	seen int
+	done bool
+	dec  Decision
+}
+
+// Extend implements IncrementalSession.
+func (s *relClassSession) Extend(points []float64) Decision {
+	if s.done {
+		return s.dec
+	}
+	r := s.r
+	if room := r.full - s.seen; len(points) > room {
+		points = points[:room]
+	}
+	for ci := range r.labels {
+		lp := s.lp[ci]
+		mu, sd := r.mean[ci], r.std[ci]
+		for i, x := range points {
+			lp += stats.LogGaussianPDF(x, mu[s.seen+i], sd[s.seen+i])
+		}
+		s.lp[ci] = lp
+	}
+	s.seen += len(points)
+	if s.seen < 1 {
+		return Decision{}
+	}
+	label, rel := r.reliabilityFromLog(s.lp, s.seen)
+	d := Decision{Label: label, Ready: rel >= 1-r.Tau && s.seen >= r.MinPrefix}
+	if d.Ready {
+		s.done, s.dec = true, d
+	}
+	return d
 }
 
 // ForcedLabel implements EarlyClassifier: full-length MAP.

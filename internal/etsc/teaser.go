@@ -274,14 +274,22 @@ func (t *TEASER) ClassifyPrefix(prefix []float64) Decision {
 	return Decision{Label: lastLabel, Ready: false}
 }
 
-// NewSession implements SessionClassifier: the session evaluates each
-// snapshot exactly once as the stream grows.
+// NewSession implements SessionClassifier over the incremental session.
 func (t *TEASER) NewSession() Session {
-	return &teaserSession{t: t}
+	return SessionFromIncremental(t.NewIncrementalSession())
+}
+
+// NewIncrementalSession implements IncrementalClassifier: the slave scan
+// evaluates each snapshot exactly once as the stream grows, carrying the
+// master-gated consistency streak across Extends — where the pure path
+// replays every covered snapshot at every opportunity.
+func (t *TEASER) NewIncrementalSession() IncrementalSession {
+	return &teaserSession{t: t, buf: make([]float64, 0, t.full)}
 }
 
 type teaserSession struct {
 	t           *TEASER
+	buf         []float64
 	nextSnap    int
 	streak      int
 	streakLabel int
@@ -289,16 +297,17 @@ type teaserSession struct {
 	decision    Decision
 }
 
-// Step implements Session.
-func (s *teaserSession) Step(prefix []float64) Decision {
+// Extend implements IncrementalSession.
+func (s *teaserSession) Extend(points []float64) Decision {
 	if s.done {
 		return s.decision
 	}
 	t := s.t
-	for s.nextSnap < len(t.lengths) && t.lengths[s.nextSnap] <= len(prefix) {
+	s.buf = appendClamped(s.buf, points, t.full)
+	for s.nextSnap < len(t.lengths) && t.lengths[s.nextSnap] <= len(s.buf) {
 		si := s.nextSnap
 		s.nextSnap++
-		label, top, margin := t.slavePosterior(si, t.prepare(si, prefix), -1)
+		label, top, margin := t.slavePosterior(si, t.prepare(si, s.buf), -1)
 		if !t.masters[si].accept(top, margin) {
 			s.streak = 0
 			continue

@@ -23,8 +23,10 @@ type ProbThreshold struct {
 	// actually reach the 0.8 threshold of the paper's example).
 	Sharpness float64
 
-	train *dataset.Dataset
-	full  int
+	train  *dataset.Dataset
+	labels []int       // sorted label set, cached for the session hot path
+	refs   [][]float64 // training series, for incremental distance banks
+	full   int
 }
 
 // NewProbThreshold builds the model. threshold is the user's commitment
@@ -48,6 +50,8 @@ func NewProbThreshold(train *dataset.Dataset, threshold float64, minPrefix int) 
 		MinPrefix: minPrefix,
 		Sharpness: 5,
 		train:     train,
+		labels:    train.Labels(),
+		refs:      seriesRefs(train),
 		full:      train.SeriesLen(),
 	}, nil
 }
@@ -63,17 +67,53 @@ func (p *ProbThreshold) FullLength() int { return p.full }
 // ClassifyPrefix implements EarlyClassifier.
 func (p *ProbThreshold) ClassifyPrefix(prefix []float64) Decision {
 	post := softminPosteriorT(p.train, prefix, p.Sharpness)
+	return p.decide(post, len(prefix))
+}
+
+// decide turns a posterior at the given prefix length into a decision; the
+// pure and incremental paths share it.
+func (p *ProbThreshold) decide(post map[int]float64, l int) Decision {
 	if post == nil {
 		return Decision{}
 	}
-	bestLabel, bestP := 0, -1.0
-	for lab, pr := range post {
-		if pr > bestP {
-			bestLabel, bestP = lab, pr
-		}
-	}
-	ready := bestP >= p.Threshold && len(prefix) >= p.MinPrefix
+	bestLabel, bestP := maxPosterior(post)
+	ready := bestP >= p.Threshold && l >= p.MinPrefix
 	return Decision{Label: bestLabel, Ready: ready}
+}
+
+// NewIncrementalSession implements IncrementalClassifier with a running
+// distance bank over the training set: each Extend costs O(n · Δl) and the
+// posterior is recomputed from the accumulated squared distances, giving
+// decisions bit-identical to ClassifyPrefix.
+func (p *ProbThreshold) NewIncrementalSession() IncrementalSession {
+	return &probThresholdSession{p: p, bank: ts.NewPrefixDistBank(p.refs)}
+}
+
+type probThresholdSession struct {
+	p    *ProbThreshold
+	bank *ts.PrefixDistBank
+	done bool
+	dec  Decision
+}
+
+// Extend implements IncrementalSession.
+func (s *probThresholdSession) Extend(points []float64) Decision {
+	if s.done {
+		return s.dec
+	}
+	if room := s.p.full - s.bank.Len(); len(points) > room {
+		points = points[:room]
+	}
+	s.bank.Extend(points)
+	if s.bank.Len() < 1 {
+		return Decision{}
+	}
+	post := softminFromSquaredDists(s.p.train, s.p.labels, s.bank.D2(), s.p.Sharpness)
+	d := s.p.decide(post, s.bank.Len())
+	if d.Ready {
+		s.done, s.dec = true, d
+	}
+	return d
 }
 
 // ForcedLabel implements EarlyClassifier: full-length raw-ED 1NN.
@@ -153,6 +193,35 @@ func (f *FixedPrefix) classifyAt(prefix []float64) int {
 		}
 	}
 	return best
+}
+
+// NewIncrementalSession implements IncrementalClassifier: points are
+// buffered at O(1) cost until the decision length At arrives, then the 1NN
+// vote runs exactly once — where the pure path would be consulted at every
+// intermediate opportunity.
+func (f *FixedPrefix) NewIncrementalSession() IncrementalSession {
+	return &fixedPrefixSession{f: f, buf: make([]float64, 0, f.At)}
+}
+
+type fixedPrefixSession struct {
+	f    *FixedPrefix
+	buf  []float64
+	done bool
+	dec  Decision
+}
+
+// Extend implements IncrementalSession.
+func (s *fixedPrefixSession) Extend(points []float64) Decision {
+	if s.done {
+		return s.dec
+	}
+	s.buf = appendClamped(s.buf, points, s.f.At)
+	if len(s.buf) < s.f.At {
+		return Decision{}
+	}
+	s.done = true
+	s.dec = Decision{Label: s.f.classifyAt(s.buf), Ready: true}
+	return s.dec
 }
 
 // ForcedLabel implements EarlyClassifier.

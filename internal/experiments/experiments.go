@@ -23,6 +23,12 @@ type Config struct {
 	// Quick shrinks stream lengths and sweep resolutions to test/bench
 	// scale (seconds instead of minutes). The shape claims still hold.
 	Quick bool
+	// Parallelism bounds every worker pool the runners use — stream
+	// monitor candidate fan-out, LOOCV, prefix sweeps, test-set
+	// evaluation. 0 means one worker per CPU; 1 runs everything serially.
+	// Results are identical for every value (see DESIGN.md): the knob
+	// trades wall-clock time only, so reproducibility is unaffected.
+	Parallelism int
 }
 
 // DefaultConfig returns the full-size configuration used for

@@ -38,7 +38,7 @@ func RunFig1(cfg Config) (*Fig1Result, error) {
 	if !d.IsZNormalized(1e-6) {
 		return nil, fmt.Errorf("fig1: exemplars are not z-normalized")
 	}
-	ev := classify.LeaveOneOut(d, classify.EuclideanDistance{})
+	ev := classify.LeaveOneOutParallel(d, classify.EuclideanDistance{}, cfg.Parallelism)
 	res := &Fig1Result{Dataset: d, LOOAccuracy: ev.Accuracy(), Words: words}
 	byClass := d.ByClass()
 	for _, label := range d.Labels() {

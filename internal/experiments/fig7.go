@@ -67,8 +67,8 @@ func RunFig7(cfg Config) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.RawAccuracy = classify.LeaveOneOut(raw, classify.EuclideanDistance{}).Accuracy()
-	res.ZNormAccuracy = classify.LeaveOneOut(zn, classify.EuclideanDistance{}).Accuracy()
+	res.RawAccuracy = classify.LeaveOneOutParallel(raw, classify.EuclideanDistance{}, cfg.Parallelism).Accuracy()
+	res.ZNormAccuracy = classify.LeaveOneOutParallel(zn, classify.EuclideanDistance{}, cfg.Parallelism).Accuracy()
 
 	// Shape checks: the wander is dramatic relative to beat amplitude
 	// (R peak = 1), and z-normalization is what makes the beats

@@ -30,7 +30,7 @@ func RunFig9(cfg Config) (*Fig9Result, error) {
 	if cfg.Quick {
 		by = 10
 	}
-	points, err := classify.PrefixSweep(train, test, 20, train.SeriesLen(), by, true, classify.EuclideanDistance{})
+	points, err := classify.PrefixSweepParallel(train, test, 20, train.SeriesLen(), by, true, classify.EuclideanDistance{}, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -57,7 +57,7 @@ func RunTable1Extended(cfg Config) (*Table1ExtResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		ns, err := core.MeasureNormSensitivity(c, test, synth.NewRand(cfg.Seed+1), maxShift, step)
+		ns, err := core.MeasureNormSensitivityParallel(c, test, synth.NewRand(cfg.Seed+1), maxShift, step, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}

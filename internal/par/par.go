@@ -1,0 +1,91 @@
+// Package par provides the one worker-pool primitive the evaluation engine
+// fans out on: Do, an index-parallel loop with a bounded goroutine count.
+// Every parallel surface in this repository (stream.Monitor candidate
+// windows, classify LOOCV and prefix sweeps, etsc test-set evaluation) is
+// built on it, so one knob — the worker count — controls them all.
+//
+// Determinism contract: callers write result i to a slot owned by index i
+// (typically results[i]), so the assembled output is identical for every
+// worker count, including 1. The only thing parallelism may change is
+// wall-clock time.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs fn(i) for every i in [0, n) across at most workers goroutines and
+// returns once all calls have completed. workers <= 0 selects
+// runtime.NumCPU(); workers == 1 (or n < 2) runs inline on the calling
+// goroutine with no synchronization overhead. Indices are handed out
+// dynamically, so uneven per-index costs still load-balance.
+//
+// fn must be safe to call concurrently from multiple goroutines and must
+// confine its writes to index-owned state. Panics in fn propagate to the
+// caller (the first one observed; remaining workers finish their current
+// index first).
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		pmu      sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							pmu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							pmu.Unlock()
+							// Drain remaining work so siblings exit promptly.
+							next.Store(int64(n))
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Workers resolves a parallelism knob to a concrete worker count:
+// <= 0 means runtime.NumCPU(), anything else is returned unchanged.
+func Workers(p int) int {
+	if p <= 0 {
+		return runtime.NumCPU()
+	}
+	return p
+}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"errors"
+	"fmt"
 
 	"etsc/internal/etsc"
 )
@@ -30,18 +31,26 @@ type Online struct {
 type onlineCandidate struct {
 	start   int // stream index of the candidate window start
 	nextLen int // prefix length at which to next consult the classifier
-	sess    etsc.Session
+	seen    int // prefix length already fed to the session
+	sess    etsc.IncrementalSession
 }
 
-// NewOnline builds an online monitor.
+// NewOnline builds an online monitor. Like Monitor, a stride or step of 0
+// selects the default (4) and negative values are configuration errors.
 func NewOnline(c etsc.EarlyClassifier, stride, step int) (*Online, error) {
 	if c == nil {
 		return nil, errors.New("stream: Online needs a classifier")
 	}
-	if stride < 1 {
+	if stride < 0 {
+		return nil, fmt.Errorf("stream: Online stride must be >= 0 (0 = default), got %d", stride)
+	}
+	if step < 0 {
+		return nil, fmt.Errorf("stream: Online step must be >= 0 (0 = default), got %d", step)
+	}
+	if stride == 0 {
 		stride = 4
 	}
-	if step < 1 {
+	if step == 0 {
 		step = 4
 	}
 	return &Online{
@@ -60,13 +69,16 @@ func (o *Online) ActiveCandidates() int { return len(o.candidates) }
 
 // Push consumes one sample and returns any detections that fired on it.
 func (o *Online) Push(v float64) []Detection {
-	// Open a candidate at every stride boundary.
+	// Open a candidate at every stride boundary. Every candidate gets its
+	// own incremental session from the engine, so each point of the stream
+	// is processed once per live candidate rather than once per (candidate,
+	// opportunity) pair.
 	if o.pos%o.stride == 0 {
-		cand := &onlineCandidate{start: o.pos, nextLen: o.step}
-		if sc, ok := o.classifier.(etsc.SessionClassifier); ok {
-			cand.sess = sc.NewSession()
-		}
-		o.candidates = append(o.candidates, cand)
+		o.candidates = append(o.candidates, &onlineCandidate{
+			start:   o.pos,
+			nextLen: o.step,
+			sess:    etsc.OpenSession(o.classifier),
+		})
 	}
 	o.buf = append(o.buf, v)
 	o.pos++
@@ -77,13 +89,9 @@ func (o *Online) Push(v float64) []Detection {
 		have := o.pos - c.start // points of this candidate's window seen
 		done := false
 		for c.nextLen <= have && c.nextLen <= o.window {
-			prefix := o.buf[c.start-o.bufStart : c.start-o.bufStart+c.nextLen]
-			var d etsc.Decision
-			if c.sess != nil {
-				d = c.sess.Step(prefix)
-			} else {
-				d = o.classifier.ClassifyPrefix(prefix)
-			}
+			base := c.start - o.bufStart
+			d := c.sess.Extend(o.buf[base+c.seen : base+c.nextLen])
+			c.seen = c.nextLen
 			if d.Ready {
 				out = append(out, Detection{
 					Start:      c.start,

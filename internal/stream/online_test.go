@@ -80,4 +80,21 @@ func TestOnlineValidation(t *testing.T) {
 	if _, err := NewOnline(nil, 1, 1); err == nil {
 		t.Error("nil classifier should error")
 	}
+	train, err := synth.WordDataset(synth.NewRand(11), []string{"cat", "dog"}, 4, 44, synth.DefaultWordConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := etsc.NewProbThreshold(train, 0.8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOnline(c, -1, 1); err == nil {
+		t.Error("negative stride should error")
+	}
+	if _, err := NewOnline(c, 1, -4); err == nil {
+		t.Error("negative step should error")
+	}
+	if _, err := NewOnline(c, 0, 0); err != nil {
+		t.Errorf("zero stride/step should default, got %v", err)
+	}
 }

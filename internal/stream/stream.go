@@ -18,6 +18,7 @@ import (
 
 	"etsc/internal/dataset"
 	"etsc/internal/etsc"
+	"etsc/internal/par"
 	"etsc/internal/ts"
 )
 
@@ -32,29 +33,61 @@ type Detection struct {
 
 // Monitor slides candidate windows over a stream and runs an early
 // classifier on each. A new candidate is opened every Stride points; each
-// candidate is fed prefixes every Step points until the classifier commits
-// or the window completes without commitment.
+// candidate's session is fed newly arrived points every Step points until
+// the classifier commits or the window completes without commitment.
+//
+// Candidate windows are independent, so Run fans them across a worker pool
+// of Parallelism goroutines. Results are assembled in candidate order and
+// suppression runs after assembly, so the output is byte-identical for
+// every worker count (including 1) — parallelism changes wall-clock time
+// only.
 type Monitor struct {
 	Classifier etsc.EarlyClassifier
-	Stride     int // candidate spacing (default: 4)
-	Step       int // prefix growth per classifier call (default: 4)
+	Stride     int // candidate spacing (0 defaults to 4; negative is an error)
+	Step       int // prefix growth per classifier call (0 defaults to 4; negative is an error)
 	// Suppress, when > 0, drops detections whose decision point is within
 	// Suppress points of an earlier accepted detection with the same
 	// label — debouncing, so one event does not fire dozens of alarms.
+	// Negative values are an error.
 	Suppress int
+	// Parallelism bounds the candidate-window worker pool: 0 means one
+	// worker per CPU, 1 runs serially; negative is an error.
+	Parallelism int
+}
+
+// validate rejects nonsense configurations instead of silently "defaulting"
+// them: a negative stride or step would loop forever or skip the stream,
+// and a negative suppression radius has no meaning.
+func (m *Monitor) validate() error {
+	if m.Classifier == nil {
+		return errors.New("stream: Monitor needs a classifier")
+	}
+	if m.Stride < 0 {
+		return fmt.Errorf("stream: Monitor.Stride must be >= 0 (0 = default), got %d", m.Stride)
+	}
+	if m.Step < 0 {
+		return fmt.Errorf("stream: Monitor.Step must be >= 0 (0 = default), got %d", m.Step)
+	}
+	if m.Suppress < 0 {
+		return fmt.Errorf("stream: Monitor.Suppress must be >= 0 (0 = off), got %d", m.Suppress)
+	}
+	if m.Parallelism < 0 {
+		return fmt.Errorf("stream: Monitor.Parallelism must be >= 0 (0 = NumCPU), got %d", m.Parallelism)
+	}
+	return nil
 }
 
 // Run scans the whole stream and returns detections in decision order.
 func (m *Monitor) Run(stream []float64) ([]Detection, error) {
-	if m.Classifier == nil {
-		return nil, errors.New("stream: Monitor needs a classifier")
+	if err := m.validate(); err != nil {
+		return nil, err
 	}
 	stride := m.Stride
-	if stride < 1 {
+	if stride == 0 {
 		stride = 4
 	}
 	step := m.Step
-	if step < 1 {
+	if step == 0 {
 		step = 4
 	}
 	L := m.Classifier.FullLength()
@@ -62,29 +95,33 @@ func (m *Monitor) Run(stream []float64) ([]Detection, error) {
 		return nil, fmt.Errorf("stream: stream length %d shorter than window %d", len(stream), L)
 	}
 
-	var dets []Detection
-	for start := 0; start+L <= len(stream); start += stride {
+	nCand := (len(stream)-L)/stride + 1
+	results := make([]Detection, nCand)
+	fired := make([]bool, nCand)
+	par.Do(nCand, m.Parallelism, func(ci int) {
+		start := ci * stride
 		window := stream[start : start+L]
-		var sess etsc.Session
-		if sc, ok := m.Classifier.(etsc.SessionClassifier); ok {
-			sess = sc.NewSession()
-		}
+		sess := etsc.OpenSession(m.Classifier)
+		prev := 0
 		for l := step; l <= L; l += step {
-			var d etsc.Decision
-			if sess != nil {
-				d = sess.Step(window[:l])
-			} else {
-				d = m.Classifier.ClassifyPrefix(window[:l])
-			}
+			d := sess.Extend(window[prev:l])
+			prev = l
 			if d.Ready {
-				dets = append(dets, Detection{
+				results[ci] = Detection{
 					Start:      start,
 					DecisionAt: start + l - 1,
 					Label:      d.Label,
 					Earliness:  float64(l) / float64(L),
-				})
-				break
+				}
+				fired[ci] = true
+				return
 			}
+		}
+	})
+	var dets []Detection
+	for ci := range results {
+		if fired[ci] {
+			dets = append(dets, results[ci])
 		}
 	}
 	if m.Suppress > 0 {
