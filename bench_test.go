@@ -14,6 +14,7 @@ import (
 	"etsc/internal/dataset"
 	"etsc/internal/etsc"
 	"etsc/internal/experiments"
+	"etsc/internal/hub"
 	"etsc/internal/stream"
 	"etsc/internal/synth"
 	"etsc/internal/ts"
@@ -380,6 +381,71 @@ func BenchmarkPrefixSweepParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// --- hub benches: multi-stream scaling --------------------------------------
+
+// BenchmarkHubScaling drives the load-generator workload (the three demo
+// stream kinds round-robined over 16 streams) through the hub across a
+// worker grid. Per-stream output is byte-identical at every worker count
+// (the golden test pins that); this bench shows what the workers buy in
+// aggregate throughput — the acceptance target is >2× at 8 workers vs 1.
+func BenchmarkHubScaling(b *testing.B) {
+	kinds, err := hub.DemoKinds(17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nStreams = 16
+	const perStream = 6_000
+	gens, err := hub.DemoStreams(kinds, 17, nStreams, perStream)
+	if err != nil {
+		b.Fatal(err)
+	}
+	totalPoints, maxLen := 0, 0
+	for _, g := range gens {
+		totalPoints += len(g.Data)
+		if len(g.Data) > maxLen {
+			maxLen = len(g.Data)
+		}
+	}
+	const batch = 64
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("streams=%d/workers=%d", nStreams, workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h, err := hub.New(hub.Config{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, g := range gens {
+					if err := h.Attach(g.ID, g.Config); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Round-robin pushes so streams genuinely interleave, the
+				// way concurrent producers would drive a deployed hub.
+				// Generators overshoot perStream; run to the longest stream
+				// so every counted point is actually pushed.
+				for off := 0; off < maxLen; off += batch {
+					for _, g := range gens {
+						if off >= len(g.Data) {
+							continue
+						}
+						end := off + batch
+						if end > len(g.Data) {
+							end = len(g.Data)
+						}
+						if err := h.Push(g.ID, g.Data[off:end]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if _, err := h.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(totalPoints * 8))
 		})
 	}
 }

@@ -1,0 +1,384 @@
+// Etsc-serve runs the multi-stream monitoring hub as a service: an HTTP
+// ingest endpoint multiplexing any number of telemetry streams through the
+// shared engine, or — with -streams — a self-contained load generator that
+// drives the hub with synthetic telemetry and reports throughput, ingest
+// latency, and detection tallies.
+//
+// Server mode:
+//
+//	go run ./cmd/etsc-serve -addr :8080
+//	curl -X POST --data '0.1 0.4 -0.2 ...' 'localhost:8080/push?stream=coop7&kind=chicken'
+//	curl 'localhost:8080/streams'           # per-stream snapshot
+//	curl 'localhost:8080/stats'             # hub totals
+//	curl 'localhost:8080/detections?stream=coop7'
+//	curl -X POST 'localhost:8080/detach?stream=coop7'
+//
+// Streams attach lazily on first push; the kind query parameter (words,
+// gunpoint, chicken — see hub.DemoKinds) picks the pipeline. The body is
+// whitespace-separated floats, the line protocol a sensor gateway can
+// produce with printf.
+//
+// Load-generator mode:
+//
+//	go run ./cmd/etsc-serve -streams 24 -points 20000 -rate 5000 -workers 8
+//
+// runs -streams concurrent pushers round-robined over the three demo
+// kinds, each pushing -points points in -batch sized batches, paced at
+// -rate points/sec per stream (0 = as fast as the hub accepts), then
+// prints aggregate throughput, p50/p99 Push latency, and per-kind
+// detection tallies.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"etsc/internal/hub"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address (server mode)")
+		workers = flag.Int("workers", 0, "hub worker pool size (0 = NumCPU)")
+		queue   = flag.Int("queue", 0, "per-stream queue depth in batches (0 = default)")
+		policy  = flag.String("policy", "block", "backpressure policy: block or drop")
+		seed    = flag.Int64("seed", 1, "scenario seed for the demo pipelines")
+		streams = flag.Int("streams", 0, "load-generator mode: number of streams (0 = serve HTTP)")
+		points  = flag.Int("points", 20_000, "load generator: points per stream")
+		batch   = flag.Int("batch", 64, "load generator: points per Push")
+		rate    = flag.Float64("rate", 0, "load generator: points/sec per stream (0 = unthrottled)")
+	)
+	flag.Parse()
+
+	var pol hub.Policy
+	switch *policy {
+	case "block":
+		pol = hub.Block
+	case "drop":
+		pol = hub.Drop
+	default:
+		log.Fatalf("unknown -policy %q (want block or drop)", *policy)
+	}
+
+	kinds, err := hub.DemoKinds(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := hub.New(hub.Config{Workers: *workers, QueueDepth: *queue, Policy: pol})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *streams > 0 {
+		if err := loadgen(os.Stdout, h, kinds, *seed, *streams, *points, *batch, *rate); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	log.Printf("etsc-serve listening on %s (workers=%d policy=%s kinds=%s)",
+		*addr, *workers, pol, kindNames(kinds))
+	log.Fatal(http.ListenAndServe(*addr, newServer(h, kinds)))
+}
+
+func kindNames(kinds []hub.Kind) string {
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.Name
+	}
+	return strings.Join(names, ",")
+}
+
+// maxPushBody bounds one /push request's body (~32 MB ≈ 1.5M points as
+// text) so a single client cannot balloon process memory.
+const maxPushBody = 32 << 20
+
+// server is the HTTP face of the hub: lazy stream attachment plus JSON
+// views over Snapshot/Stats/Detections.
+type server struct {
+	hub   *hub.Hub
+	kinds map[string]hub.Kind
+	deflt string
+
+	mu       sync.Mutex
+	attached map[string]bool
+}
+
+func newServer(h *hub.Hub, kinds []hub.Kind) *http.ServeMux {
+	s := &server{hub: h, kinds: map[string]hub.Kind{}, deflt: kinds[0].Name, attached: map[string]bool{}}
+	for _, k := range kinds {
+		s.kinds[k.Name] = k
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/push", s.handlePush)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/streams", s.handleStreams)
+	mux.HandleFunc("/detections", s.handleDetections)
+	mux.HandleFunc("/detach", s.handleDetach)
+	return mux
+}
+
+// ensure lazily attaches id with the pipeline named by kind.
+func (s *server) ensure(id, kind string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attached[id] {
+		return nil
+	}
+	if kind == "" {
+		kind = s.deflt
+	}
+	k, ok := s.kinds[kind]
+	if !ok {
+		return fmt.Errorf("unknown kind %q (want one of %s)", kind, strings.Join(sortedKeys(s.kinds), ","))
+	}
+	if err := s.hub.Attach(id, k.Config); err != nil {
+		return err
+	}
+	s.attached[id] = true
+	return nil
+}
+
+func sortedKeys(m map[string]hub.Kind) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *server) handlePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("stream")
+	if id == "" {
+		http.Error(w, "missing ?stream=", http.StatusBadRequest)
+		return
+	}
+	// Parse the whole body before touching the hub: a rejected request
+	// must have no side effect (no lazily attached ghost stream). The
+	// body is size-capped so one request cannot balloon process memory.
+	var batch []float64
+	body := http.MaxBytesReader(w, r.Body, maxPushBody)
+	sc := bufio.NewScanner(body)
+	sc.Split(bufio.ScanWords)
+	for sc.Scan() {
+		v, err := strconv.ParseFloat(sc.Text(), 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad point %q: %v", sc.Text(), err), http.StatusBadRequest)
+			return
+		}
+		batch = append(batch, v)
+	}
+	if err := sc.Err(); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("body over %d bytes; split the batch", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.ensure(id, r.URL.Query().Get("kind")); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	err := s.hub.Push(id, batch)
+	switch {
+	case err == nil:
+		writeJSON(w, map[string]any{"stream": id, "queued": len(batch)})
+	case errors.Is(err, hub.ErrDropped):
+		// Backpressure surfaced to the HTTP client as 429.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.hub.Stats())
+}
+
+// handleStreams reads the live snapshot without waiting for queues to
+// drain — under sustained ingest a Flush here would park the handler until
+// producers pause, making monitoring unavailable exactly when it matters.
+func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.hub.Snapshot())
+}
+
+func (s *server) handleDetections(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("stream")
+	dets, err := s.hub.Detections(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"stream": id, "detections": dets})
+}
+
+func (s *server) handleDetach(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("stream")
+	rep, err := s.hub.Detach(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	delete(s.attached, id)
+	s.mu.Unlock()
+	writeJSON(w, rep)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("etsc-serve: encode: %v", err)
+	}
+}
+
+// loadgen drives the hub with synthetic streams and reports capacity.
+func loadgen(w *os.File, h *hub.Hub, kinds []hub.Kind, seed int64, streams, points, batchSize int, rate float64) error {
+	if batchSize <= 0 {
+		return fmt.Errorf("etsc-serve: -batch must be > 0, got %d", batchSize)
+	}
+	fmt.Fprintf(w, "load generator: %d streams × %d points, batch=%d, rate=%s\n",
+		streams, points, batchSize, rateLabel(rate))
+
+	gens, err := hub.DemoStreams(kinds, seed, streams, points)
+	if err != nil {
+		return err
+	}
+	for _, g := range gens {
+		if err := h.Attach(g.ID, g.Config); err != nil {
+			return err
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		dropped   int
+		total     int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, g := range gens {
+		wg.Add(1)
+		go func(g hub.DemoStream) {
+			defer wg.Done()
+			var interval time.Duration
+			if rate > 0 {
+				interval = time.Duration(float64(batchSize) / rate * float64(time.Second))
+			}
+			next := time.Now()
+			local := make([]time.Duration, 0, len(g.Data)/batchSize+1)
+			drops := 0
+			var pushed int64
+			for off := 0; off < len(g.Data); off += batchSize {
+				end := off + batchSize
+				if end > len(g.Data) {
+					end = len(g.Data)
+				}
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				t0 := time.Now()
+				err := h.Push(g.ID, g.Data[off:end])
+				local = append(local, time.Since(t0))
+				if err != nil {
+					drops++
+					continue
+				}
+				pushed += int64(end - off)
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			dropped += drops
+			total += pushed
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	h.Flush()
+	ingestWall := time.Since(start)
+
+	reports, err := h.Close()
+	if err != nil {
+		return err
+	}
+	perKind := map[string]*struct{ streams, dets, recanted, points int }{}
+	for _, r := range reports {
+		kind := strings.SplitN(r.ID, "-", 2)[0]
+		pk := perKind[kind]
+		if pk == nil {
+			pk = &struct{ streams, dets, recanted, points int }{}
+			perKind[kind] = pk
+		}
+		pk.streams++
+		pk.dets += len(r.Detections)
+		pk.recanted += r.Stats.Recanted
+		pk.points += r.Stats.Position
+	}
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	fmt.Fprintf(w, "ingested %d points in %v — %.0f points/sec aggregate\n",
+		total, ingestWall.Round(time.Millisecond), float64(total)/ingestWall.Seconds())
+	fmt.Fprintf(w, "push latency: p50=%v p99=%v max=%v (%d pushes, %d rejected)\n",
+		percentile(latencies, 0.50), percentile(latencies, 0.99),
+		percentile(latencies, 1.0), len(latencies), dropped)
+	for _, kind := range sortedKeys(kindMap(kinds)) {
+		pk := perKind[kind]
+		if pk == nil {
+			continue
+		}
+		fmt.Fprintf(w, "kind %-9s %2d streams, %7d points, %5d detections (%d recanted)\n",
+			kind, pk.streams, pk.points, pk.dets, pk.recanted)
+	}
+	return nil
+}
+
+func kindMap(kinds []hub.Kind) map[string]hub.Kind {
+	m := map[string]hub.Kind{}
+	for _, k := range kinds {
+		m[k.Name] = k
+	}
+	return m
+}
+
+func rateLabel(rate float64) string {
+	if rate <= 0 {
+		return "unthrottled"
+	}
+	return fmt.Sprintf("%.0f pts/sec/stream", rate)
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted)-1) * q)
+	return sorted[i]
+}

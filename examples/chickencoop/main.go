@@ -5,12 +5,18 @@
 // (Fig. 8), and prices the early intervention (startling the chicken with
 // a light) with the cost model of Appendix B.
 //
-//	go run ./examples/chickencoop
+//	go run ./examples/chickencoop [-quick]
+//
+// The -quick flag shrinks the telemetry stream so the walkthrough (and its
+// smoke test) finishes in a couple of seconds.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"etsc/internal/core"
 	"etsc/internal/stats"
@@ -20,15 +26,31 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "smaller telemetry stream, faster run")
+	flag.Parse()
+	if err := run(os.Stdout, *quick); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, quick bool) error {
+	streamLen := 1_000_000
+	if quick {
+		streamLen = 150_000
+	}
+
 	// 1. A day-scale telemetry stream with annotated behaviours.
 	cfg := synth.DefaultChickenConfig()
 	cfg.DustbathProb = 0.08
-	data, intervals, err := synth.ChickenStream(synth.NewRand(13), cfg, 1_000_000)
+	data, intervals, err := synth.ChickenStream(synth.NewRand(13), cfg, streamLen)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	dust := synth.IntervalsOf(intervals, synth.Dustbathing)
-	fmt.Printf("telemetry: %d points, %d dustbathing bouts\n", len(data), len(dust))
+	fmt.Fprintf(w, "telemetry: %d points, %d dustbathing bouts\n", len(data), len(dust))
+	if len(dust) < 2 {
+		return fmt.Errorf("chickencoop: only %d dustbathing bouts generated; need at least 2", len(dust))
+	}
 
 	// 2. "Template discovery": extract the opening shake phase of the
 	//    first annotated bout. (The paper notes this discovery step must
@@ -40,8 +62,8 @@ func main() {
 	}
 	template := ts.Series(data[first.Start : first.Start+tmplLen]).Clone()
 	truncated := template[:tmplLen*7/12] // ~the paper's 70-of-120
-	fmt.Printf("template (len %d):  %s\n", len(template), ts.Sparkline(template, 60))
-	fmt.Printf("truncated (len %d): %s\n\n", len(truncated), ts.Sparkline(truncated, 60))
+	fmt.Fprintf(w, "template (len %d):  %s\n", len(template), ts.Sparkline(template, 60))
+	fmt.Fprintf(w, "truncated (len %d): %s\n\n", len(truncated), ts.Sparkline(truncated, 60))
 
 	// 3. Compare the two templates' nearest-neighbour precision,
 	//    excluding the bout the template came from.
@@ -63,11 +85,11 @@ func main() {
 	}{{"full", template}, {"truncated", truncated}} {
 		mon, err := stream.NewTemplateMonitor(tc.tmpl, 1, len(tc.tmpl)/2)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		dets, err := mon.TopK(data, k)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		hits, total := stream.ScoreTemplateDetections(dets, truth, 1, len(tc.tmpl))
 		maxDist := 0.0
@@ -79,14 +101,14 @@ func main() {
 		rows = append(rows, rowT{tc.name, hits, total, float64(hits) / float64(total), maxDist})
 	}
 	for _, r := range rows {
-		fmt.Printf("%-10s template: %d/%d nearest neighbours are real dustbathing (precision %.1f%%)\n",
+		fmt.Fprintf(w, "%-10s template: %d/%d nearest neighbours are real dustbathing (precision %.1f%%)\n",
 			r.name, r.hits, r.k, r.precision*100)
 	}
 	test, err := stats.TwoProportionZTest(rows[0].hits, rows[0].k, rows[1].hits, rows[1].k, 0.05)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("two-proportion z-test: p=%.3f — not significantly different: the short template is as good\n\n",
+	fmt.Fprintf(w, "two-proportion z-test: p=%.3f — not significantly different: the short template is as good\n\n",
 		test.PValue)
 
 	// 4. Price the intervention. Startling a chicken out of dustbathing:
@@ -99,11 +121,11 @@ func main() {
 	threshold := rows[1].maxDist * 1.05
 	mon, err := stream.NewTemplateMonitor(truncated, threshold, len(truncated)/2)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	dets, err := mon.Run(data)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tp, total := stream.ScoreTemplateDetections(dets, truth, 1, len(truncated))
 	fp := total - tp
@@ -111,18 +133,19 @@ func main() {
 	if fn < 0 {
 		fn = 0
 	}
-	fmt.Printf("deployed truncated-template detector at calibrated threshold %.2f:\n", threshold)
-	fmt.Printf("  %d alarms: %d true, %d false, %d bouts missed\n", total, tp, fp, fn)
-	fmt.Printf("  break-even precision %.2f, measured %.2f\n",
+	fmt.Fprintf(w, "deployed truncated-template detector at calibrated threshold %.2f:\n", threshold)
+	fmt.Fprintf(w, "  %d alarms: %d true, %d false, %d bouts missed\n", total, tp, fp, fn)
+	fmt.Fprintf(w, "  break-even precision %.2f, measured %.2f\n",
 		cost.BreakEvenPrecision(), float64(tp)/float64(total))
-	fmt.Printf("  net value: $%+.2f\n\n", cost.Net(tp, fp, fn))
+	fmt.Fprintf(w, "  net value: $%+.2f\n\n", cost.Net(tp, fp, fn))
 
 	report := core.Evaluate(core.Assessment{
 		Domain:   "chicken dustbathing early intervention",
 		Cost:     &cost,
 		Measured: &core.MeasuredDeployment{TP: tp, FP: fp, FN: fn},
 	})
-	fmt.Print(report)
-	fmt.Println("\nEven here the paper's caveat applies: this is classification with a")
-	fmt.Println("shorter template — no ETSC model was needed to discover it.")
+	fmt.Fprint(w, report)
+	fmt.Fprintln(w, "\nEven here the paper's caveat applies: this is classification with a")
+	fmt.Fprintln(w, "shorter template — no ETSC model was needed to discover it.")
+	return nil
 }

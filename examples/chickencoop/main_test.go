@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunQuick executes the Fig. 8 walkthrough at -quick size so
+// `go test ./...` exercises the example end to end.
+func TestRunQuick(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dustbathing bouts",
+		"template (len",
+		"two-proportion z-test",
+		"net value",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -3,12 +3,18 @@
 // prefix (§3.1), inclusion (§3.2), homophone (§3.3) — plus the
 // meaningfulness checklist verdict for the domain.
 //
-//	go run ./examples/streamingwords
+//	go run ./examples/streamingwords [-quick]
+//
+// The -quick flag shrinks the training sets so the walkthrough (and its
+// smoke test) finishes in a couple of seconds.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"etsc/internal/core"
@@ -21,19 +27,32 @@ import (
 const wordLen = 44
 
 func main() {
+	quick := flag.Bool("quick", false, "smaller training sets, faster run")
+	flag.Parse()
+	if err := run(os.Stdout, *quick); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, quick bool) error {
+	perClass := 30
+	if quick {
+		perClass = 12
+	}
+
 	// Train the cat/dog model at stream scale.
 	train, err := synth.WordDataset(synth.NewRand(11), []string{"cat", "dog"},
-		30, wordLen, synth.DefaultWordConfig())
+		perClass, wordLen, synth.DefaultWordConfig())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	clf, err := etsc.NewTEASER(train, etsc.DefaultTEASERConfig())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	verifier, err := stream.NewNNVerifier(train, 0.95, 1.0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	sentences := []struct {
@@ -45,34 +64,38 @@ func main() {
 		{"homophone problem (§3.3)", synth.LeviticusSentence},
 	}
 	for _, s := range sentences {
-		runSentence(s.name, s.words, []string{"cat", "dog"}, clf, verifier)
+		if err := runSentence(w, s.name, s.words, []string{"cat", "dog"}, clf, verifier); err != nil {
+			return err
+		}
 	}
 
 	// §3.4 monitors the vocalization of {gun, point} over the Amy Gunn
 	// sentence, which packs prefixes, inclusions and homophones together.
 	gpTrain, err := synth.WordDataset(synth.NewRand(12), []string{"gun", "point"},
-		30, wordLen, synth.DefaultWordConfig())
+		perClass, wordLen, synth.DefaultWordConfig())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	gpClf, err := etsc.NewTEASER(gpTrain, etsc.DefaultTEASERConfig())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	gpVerifier, err := stream.NewNNVerifier(gpTrain, 0.95, 1.0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	runSentence("all at once (§3.4, gun/point model)", synth.AmyGunnSentence,
-		[]string{"gun", "point"}, gpClf, gpVerifier)
+	if err := runSentence(w, "all at once (§3.4, gun/point model)", synth.AmyGunnSentence,
+		[]string{"gun", "point"}, gpClf, gpVerifier); err != nil {
+		return err
+	}
 
 	// The paper's recommendation, as a library call: the symbolic
 	// confusability analysis of the deployment vocabulary.
-	fmt.Println("=== meaningfulness checklist for the cat/dog domain ===")
+	fmt.Fprintln(w, "=== meaningfulness checklist for the cat/dog domain ===")
 	lexicon := coreLexicon()
 	zipf, err := stats.NewZipf(1.0, 10_000)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var target core.LexiconEntry
 	for _, e := range lexicon {
@@ -82,10 +105,10 @@ func main() {
 	}
 	conf, err := core.AnalyzeLexiconConfusability(target, lexicon, zipf)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, c := range conf.Confusions {
-		fmt.Printf("  %-12s %-10s expect %.1fx the target's frequency\n",
+		fmt.Fprintf(w, "  %-12s %-10s expect %.1fx the target's frequency\n",
 			c.Entry.Name, c.Relation, c.FrequencyWeight)
 	}
 	cost := core.CostModel{EventDamage: 1000, InterventionCost: 200, InterventionEfficacy: 1}
@@ -94,21 +117,22 @@ func main() {
 		Cost:          &cost,
 		Confusability: &conf,
 	})
-	fmt.Println()
-	fmt.Print(report)
+	fmt.Fprintln(w)
+	fmt.Fprint(w, report)
+	return nil
 }
 
-func runSentence(name string, words, classes []string, clf etsc.EarlyClassifier, v stream.Verifier) {
-	fmt.Printf("=== %s ===\n", name)
-	fmt.Printf("    \"%s\"\n", strings.Join(words, " "))
+func runSentence(w io.Writer, name string, words, classes []string, clf etsc.EarlyClassifier, v stream.Verifier) error {
+	fmt.Fprintf(w, "=== %s ===\n", name)
+	fmt.Fprintf(w, "    \"%s\"\n", strings.Join(words, " "))
 	sentence, intervals, err := synth.Sentence(synth.NewRand(23), words, synth.DefaultWordConfig(), 30)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	mon := &stream.Monitor{Classifier: clf, Stride: 2, Step: 2, Suppress: wordLen / 2}
 	dets, err := mon.Run(sentence)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var truth []stream.GroundTruth
 	for _, iv := range intervals {
@@ -142,9 +166,10 @@ func runSentence(name string, words, classes []string, clf etsc.EarlyClassifier,
 		if d.Recanted {
 			status = "recanted"
 		}
-		fmt.Printf("    alarm '%s' at point %5d (during %q) — %s\n", class, d.DecisionAt, word, status)
+		fmt.Fprintf(w, "    alarm '%s' at point %5d (during %q) — %s\n", class, d.DecisionAt, word, status)
 	}
-	fmt.Printf("    TP=%d FP=%d recanted=%d/%d\n\n", tally.TP, tally.FP, recanted, len(dets))
+	fmt.Fprintf(w, "    TP=%d FP=%d recanted=%d/%d\n\n", tally.TP, tally.FP, recanted, len(dets))
+	return nil
 }
 
 // coreLexicon converts the synthesizer's phoneme lexicon into the analysis

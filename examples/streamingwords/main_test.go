@@ -1,0 +1,35 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunQuick executes the whole walkthrough at -quick size so
+// `go test ./...` exercises the example end to end.
+func TestRunQuick(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"prefix problem",
+		"inclusion problem",
+		"homophone problem",
+		"meaningfulness checklist",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestRunWritesNothingToStdout guards the refactor: everything goes
+// through the writer, so the example stays capturable.
+func TestRunWritesNothingToStdout(t *testing.T) {
+	if err := run(io.Discard, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,575 @@
+// Package hub multiplexes many independent monitored streams through one
+// shared worker pool — the production shape of the paper's deployment
+// argument. A single stream's monitor loop was made incremental and
+// parallel in internal/stream; the hub owns N such pipelines (one
+// stream.Online, suppressor, and verifier per stream), ingests batched
+// points via Push(streamID, points), and fans per-stream drain work across
+// a par.Pool with bounded per-stream queues and explicit backpressure.
+//
+// Determinism contract: each stream is processed by at most one worker at
+// a time and its batches are applied in arrival order, so for any worker
+// count — including 1 — a stream's detection transcript is byte-identical
+// to driving stream.Online directly over the concatenated batches (plus
+// the same suppression and full-window verification), which
+// TestHubMatchesOnline and the golden test assert. Parallelism changes
+// wall-clock time only. Backpressure is never silent: a full queue either
+// blocks the pusher (Block) or rejects the batch with ErrDropped (Drop),
+// and dropped batches are counted in the stream's stats.
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"etsc/internal/etsc"
+	"etsc/internal/par"
+	"etsc/internal/stream"
+)
+
+// Policy says what Push does when a stream's queue is full.
+type Policy int
+
+const (
+	// Block makes Push wait until the drain worker frees queue space.
+	Block Policy = iota
+	// Drop makes Push reject the batch with ErrDropped and count it.
+	Drop
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Errors surfaced by the hub. ErrDropped is the Drop policy doing its job:
+// the caller learns, on every rejected batch, that it outran the hub.
+var (
+	ErrClosed        = errors.New("hub: closed")
+	ErrUnknownStream = errors.New("hub: unknown stream")
+	ErrDuplicate     = errors.New("hub: stream already attached")
+	ErrDropped       = errors.New("hub: batch dropped, stream queue full")
+)
+
+// Config sizes the hub.
+type Config struct {
+	// Workers bounds the shared drain pool (0 = one per CPU).
+	Workers int
+	// QueueDepth is the per-stream bound on queued batches (0 = 16).
+	QueueDepth int
+	// Policy is the full-queue behaviour; the zero value blocks.
+	Policy Policy
+}
+
+// StreamConfig is one stream's pipeline: the same knobs stream.Monitor
+// takes, applied online. Suppress debounces same-label alarms with
+// stream.Suppressor; Verifier, when non-nil, re-checks each surviving
+// detection against its completed window (the paper's "recant" step) —
+// windows still incomplete at Detach/Close are recanted, exactly as
+// stream.Verify treats windows that run past the end of a batch stream.
+type StreamConfig struct {
+	Classifier etsc.EarlyClassifier
+	Stride     int // candidate spacing (0 = default 4)
+	Step       int // prefix growth per decision opportunity (0 = default 4)
+	Suppress   int // same-label debounce radius (0 = off)
+	Verifier   stream.Verifier
+}
+
+// StreamStats is one stream's observable state.
+type StreamStats struct {
+	Position         int // samples applied to the pipeline so far
+	ActiveCandidates int // live candidate windows
+	QueuedBatches    int // batches waiting in the stream's queue
+	Batches          int64
+	Points           int64
+	DroppedBatches   int64
+	DroppedPoints    int64
+	Detections       int
+	Recanted         int // detections whose completed (or truncated) window failed verification
+	PendingVerify    int // detections whose full window has not arrived yet
+}
+
+// Totals aggregates StreamStats across the hub.
+type Totals struct {
+	Streams        int
+	Batches        int64
+	Points         int64
+	DroppedBatches int64
+	DroppedPoints  int64
+	Detections     int
+	Recanted       int
+}
+
+// StreamReport is the final state Detach and Close return for a stream.
+type StreamReport struct {
+	ID         string
+	Stats      StreamStats
+	Detections []stream.Detection
+}
+
+// Hub owns the streams and the shared pool.
+type Hub struct {
+	depth  int
+	policy Policy
+	pool   *par.Pool
+
+	mu      sync.Mutex
+	streams map[string]*hubStream
+	closed  bool
+}
+
+type hubStream struct {
+	id string
+
+	// Pipeline state, touched only by the single active drain task (the
+	// running flag serializes drains per stream).
+	online *stream.Online
+	supp   *stream.Suppressor
+	verif  stream.Verifier
+	window int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    [][]float64
+	running  bool
+	detached bool
+	stats    StreamStats
+	dets     []stream.Detection
+	pend     []int // indices into dets awaiting full-window verification
+	tail     []float64
+	tailAt   int // stream position of tail[0]
+}
+
+// New builds a hub. The zero Config is usable: NumCPU workers, queue depth
+// 16, Block policy.
+func New(cfg Config) (*Hub, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("hub: Workers must be >= 0 (0 = NumCPU), got %d", cfg.Workers)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("hub: QueueDepth must be >= 0 (0 = default), got %d", cfg.QueueDepth)
+	}
+	if cfg.Policy != Block && cfg.Policy != Drop {
+		return nil, fmt.Errorf("hub: unknown policy %d", int(cfg.Policy))
+	}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = 16
+	}
+	return &Hub{
+		depth:   depth,
+		policy:  cfg.Policy,
+		pool:    par.NewPool(cfg.Workers),
+		streams: map[string]*hubStream{},
+	}, nil
+}
+
+// Attach registers a new stream under id.
+func (h *Hub) Attach(id string, sc StreamConfig) error {
+	if sc.Suppress < 0 {
+		return fmt.Errorf("hub: Suppress must be >= 0 (0 = off), got %d", sc.Suppress)
+	}
+	online, err := stream.NewOnline(sc.Classifier, sc.Stride, sc.Step)
+	if err != nil {
+		return err
+	}
+	s := &hubStream{
+		id:     id,
+		online: online,
+		supp:   stream.NewSuppressor(sc.Suppress),
+		verif:  sc.Verifier,
+		window: sc.Classifier.FullLength(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	if _, ok := h.streams[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, id)
+	}
+	h.streams[id] = s
+	return nil
+}
+
+// Push ingests one batch of points for a stream. The batch is copied, so
+// the caller may reuse its buffer. With a full queue, Block policy waits
+// and Drop policy returns ErrDropped (and counts the drop in the stream's
+// stats). Detections surface asynchronously via Detections/Snapshot after
+// the drain worker applies the batch; Flush waits for that.
+func (h *Hub) Push(id string, points []float64) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	s, ok := h.streams[id]
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownStream, id)
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	batch := append([]float64(nil), points...)
+
+	s.mu.Lock()
+	for len(s.queue) >= h.depth && !s.detached {
+		if h.policy == Drop {
+			s.stats.DroppedBatches++
+			s.stats.DroppedPoints += int64(len(batch))
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrDropped, id)
+		}
+		s.cond.Wait()
+	}
+	if s.detached {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownStream, id)
+	}
+	s.queue = append(s.queue, batch)
+	s.stats.QueuedBatches = len(s.queue)
+	if !s.running {
+		s.running = true
+		h.pool.Submit(func() { h.drain(s) })
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// drain applies a stream's queued batches in order. At most one drain per
+// stream runs at a time (the running flag), which is the whole determinism
+// argument: per-stream work is serial, only distinct streams overlap.
+func (h *Hub) drain(s *hubStream) {
+	defer func() {
+		if r := recover(); r != nil {
+			// A panicking classifier/verifier must not strand the stream:
+			// discard the remaining queue (counted as drops, never silent)
+			// and mark the stream idle so Detach/Close/Flush and blocked
+			// pushers terminate. The panic is re-raised into the pool,
+			// which rethrows it at Close.
+			s.mu.Lock()
+			for _, b := range s.queue {
+				s.stats.DroppedBatches++
+				s.stats.DroppedPoints += int64(len(b))
+			}
+			s.queue = nil
+			s.stats.QueuedBatches = 0
+			// Fail-stop: the pipeline state is suspect mid-panic, so the
+			// stream stops accepting pushes rather than running on it.
+			s.detached = true
+			s.running = false
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			panic(r)
+		}
+	}()
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.running = false
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		batch := s.queue[0]
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+		s.stats.QueuedBatches = len(s.queue)
+		s.cond.Broadcast() // free space for blocked pushers
+		s.mu.Unlock()
+
+		s.applyBatch(batch)
+	}
+}
+
+// applyBatch runs one batch through the stream's pipeline. The classifier
+// and the verifier both run without the lock (the verifier's NN scan is
+// O(train × window) per detection — holding the lock through a detection
+// burst would stall Snapshot/Stats readers); only the bookkeeping commits
+// hold it, via defers, so a panicking classifier or verifier unwinds with
+// the lock released and drain's recovery can still seal the stream.
+func (s *hubStream) applyBatch(batch []float64) {
+	// Pipeline work happens without holding the lock; the stream's
+	// Online, Suppressor, and window are drain-owned.
+	dets := s.online.PushAll(batch)
+	kept := dets[:0]
+	for _, d := range dets {
+		if s.supp.Keep(d) {
+			kept = append(kept, d)
+		}
+	}
+
+	var jobs []verifyJob
+	func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.stats.Batches++
+		s.stats.Points += int64(len(batch))
+		s.stats.Position = s.online.Pos()
+		s.stats.ActiveCandidates = s.online.ActiveCandidates()
+		base := len(s.dets)
+		s.dets = append(s.dets, kept...)
+		if s.verif != nil {
+			s.tail = append(s.tail, batch...)
+			for i := range kept {
+				s.pend = append(s.pend, base+i)
+			}
+			jobs = s.takeResolvableLocked(false)
+		}
+		s.stats.Detections = len(s.dets)
+		s.stats.PendingVerify = len(s.pend)
+	}()
+	s.runVerifications(jobs)
+}
+
+// verifyJob is one detection whose recant check is ready to run: its
+// completed window (copied, so the tail can be trimmed immediately), or a
+// nil window meaning the pattern never completed and the detection recants
+// without a verifier call.
+type verifyJob struct {
+	di     int
+	label  int
+	window []float64
+}
+
+// takeResolvableLocked removes from the pending list every detection whose
+// full window has arrived — or, with final set, every detection at all
+// (windows that will never complete recant, exactly stream.Verify's rule
+// for windows that run past the end of the stream) — returning them as
+// jobs, and trims the tail buffer to what is still needed.
+func (s *hubStream) takeResolvableLocked(final bool) []verifyJob {
+	pos := s.stats.Position
+	var jobs []verifyJob
+	remain := s.pend[:0]
+	for _, di := range s.pend {
+		d := &s.dets[di]
+		end := d.Start + s.window
+		switch {
+		case end <= pos:
+			w := append([]float64(nil), s.tail[d.Start-s.tailAt:end-s.tailAt]...)
+			jobs = append(jobs, verifyJob{di: di, label: d.Label, window: w})
+		case final:
+			jobs = append(jobs, verifyJob{di: di})
+		default:
+			remain = append(remain, di)
+		}
+	}
+	s.pend = remain
+	// A live candidate window can still fire for any start in
+	// (pos-window, pos), so the tail must always retain the last window of
+	// samples, plus everything back to the earliest pending detection.
+	keepFrom := pos - s.window
+	if keepFrom < 0 {
+		keepFrom = 0
+	}
+	for _, di := range s.pend {
+		if st := s.dets[di].Start; st < keepFrom {
+			keepFrom = st
+		}
+	}
+	if keepFrom > s.tailAt {
+		s.tail = s.tail[keepFrom-s.tailAt:]
+		s.tailAt = keepFrom
+	}
+	s.stats.PendingVerify = len(s.pend)
+	return jobs
+}
+
+// runVerifications executes taken jobs outside the lock and commits the
+// recant flags. Only the stream's single active drain (or finalize, which
+// runs after the last drain) calls this, so the detections the jobs index
+// are stable.
+func (s *hubStream) runVerifications(jobs []verifyJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	results := make([]bool, len(jobs))
+	for i, j := range jobs {
+		results[i] = j.window == nil || !s.verif.Verify(j.window, j.label)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, j := range jobs {
+		s.dets[j.di].Recanted = results[i]
+		if results[i] {
+			s.stats.Recanted++
+		}
+	}
+}
+
+// waitDrainedLocked blocks until the stream's queue is empty and no drain
+// task is running. Caller holds s.mu.
+func (s *hubStream) waitDrainedLocked() {
+	for s.running || len(s.queue) > 0 {
+		s.cond.Wait()
+	}
+}
+
+// Flush blocks until the hub is quiescent: every queued batch applied and
+// no drain running. With producers still pushing concurrently it waits for
+// their batches too, so it is a tool for tests, benchmarks, and shutdown
+// sequencing — not for read paths that must stay responsive under load
+// (those should read Snapshot/Stats directly; both are safe at any time).
+func (h *Hub) Flush() {
+	for _, s := range h.snapshotStreams() {
+		s.mu.Lock()
+		s.waitDrainedLocked()
+		s.mu.Unlock()
+	}
+}
+
+// Detach drains a stream's queue, finalizes pending verifications
+// (incomplete windows recant), removes the stream, and returns its final
+// report. Pushers blocked on the stream's queue are released with
+// ErrUnknownStream.
+func (h *Hub) Detach(id string) (StreamReport, error) {
+	h.mu.Lock()
+	s, ok := h.streams[id]
+	if ok {
+		delete(h.streams, id)
+	}
+	h.mu.Unlock()
+	if !ok {
+		return StreamReport{}, fmt.Errorf("%w: %q", ErrUnknownStream, id)
+	}
+	return h.finalize(s), nil
+}
+
+// finalize seals a stream already removed from the map: new pushes are
+// rejected and blocked pushers released first, then the already-accepted
+// queue is allowed to drain (every batch Push accepted is applied), and
+// still-pending detections resolve — completed windows verify, incomplete
+// ones recant.
+func (h *Hub) finalize(s *hubStream) StreamReport {
+	s.mu.Lock()
+	s.detached = true
+	s.cond.Broadcast()
+	s.waitDrainedLocked()
+	var jobs []verifyJob
+	if s.verif != nil {
+		jobs = s.takeResolvableLocked(true)
+	}
+	s.mu.Unlock()
+	// No drain can run anymore (queue empty, pushes rejected), so the
+	// verifier work races with nothing.
+	s.runVerifications(jobs)
+
+	s.mu.Lock()
+	s.tail = nil
+	rep := StreamReport{
+		ID:         s.id,
+		Stats:      s.stats,
+		Detections: append([]stream.Detection(nil), s.dets...),
+	}
+	s.mu.Unlock()
+	return rep
+}
+
+// Close drains and finalizes every stream, stops the worker pool, and
+// returns the final reports sorted by stream ID. Push, Attach, and Detach
+// fail with ErrClosed afterwards.
+func (h *Hub) Close() ([]StreamReport, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrClosed
+	}
+	h.closed = true
+	streams := make([]*hubStream, 0, len(h.streams))
+	for _, s := range h.streams {
+		streams = append(streams, s)
+	}
+	h.streams = map[string]*hubStream{}
+	h.mu.Unlock()
+
+	reports := make([]StreamReport, 0, len(streams))
+	for _, s := range streams {
+		reports = append(reports, h.finalize(s))
+	}
+	sort.Slice(reports, func(a, b int) bool { return reports[a].ID < reports[b].ID })
+	h.pool.Close()
+	return reports, nil
+}
+
+// snapshotStreams copies the live stream set.
+func (h *Hub) snapshotStreams() []*hubStream {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*hubStream, 0, len(h.streams))
+	for _, s := range h.streams {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Snapshot returns per-stream stats for every attached stream.
+func (h *Hub) Snapshot() map[string]StreamStats {
+	out := map[string]StreamStats{}
+	for _, s := range h.snapshotStreams() {
+		s.mu.Lock()
+		out[s.id] = s.stats
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Stats aggregates the hub-wide totals.
+func (h *Hub) Stats() Totals {
+	var t Totals
+	for _, st := range h.Snapshot() {
+		t.Streams++
+		t.Batches += st.Batches
+		t.Points += st.Points
+		t.DroppedBatches += st.DroppedBatches
+		t.DroppedPoints += st.DroppedPoints
+		t.Detections += st.Detections
+		t.Recanted += st.Recanted
+	}
+	return t
+}
+
+// Detections returns a copy of a stream's detection transcript so far.
+// Recanted flags settle once each detection's full window has been applied
+// (or at Detach/Close); PendingVerify in the stream's stats counts the
+// unsettled ones.
+func (h *Hub) Detections(id string) ([]stream.Detection, error) {
+	h.mu.Lock()
+	s, ok := h.streams[id]
+	h.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStream, id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]stream.Detection(nil), s.dets...), nil
+}
+
+// Reference is the serial oracle the hub's determinism contract points at:
+// the transcript a stream's config produces when the whole series is
+// driven through a standalone stream.Online, the same suppressor, and a
+// final stream.Verify pass. Hub output per stream must be byte-identical
+// to Reference over the concatenation of its pushed batches.
+func Reference(sc StreamConfig, series []float64) ([]stream.Detection, error) {
+	if sc.Suppress < 0 {
+		return nil, fmt.Errorf("hub: Suppress must be >= 0 (0 = off), got %d", sc.Suppress)
+	}
+	o, err := stream.NewOnline(sc.Classifier, sc.Stride, sc.Step)
+	if err != nil {
+		return nil, err
+	}
+	dets := stream.NewSuppressor(sc.Suppress).Filter(o.PushAll(series))
+	if sc.Verifier != nil {
+		stream.Verify(dets, series, sc.Classifier.FullLength(), sc.Verifier)
+	}
+	return dets, nil
+}

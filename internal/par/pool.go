@@ -1,0 +1,98 @@
+package par
+
+import (
+	"sync"
+)
+
+// Pool is the persistent counterpart of Do: a fixed set of worker
+// goroutines draining a FIFO task queue. Do is the right shape for a
+// bounded batch of index-parallel work; Pool serves long-lived callers
+// (the monitoring hub) that submit work continuously and bound concurrency
+// once, at construction.
+//
+// The queue is unbounded: callers that need backpressure must bound their
+// own outstanding submissions (the hub submits at most one drain task per
+// stream). Submit never blocks.
+type Pool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []func()
+	closed   bool
+	panicked any
+	wg       sync.WaitGroup
+}
+
+// NewPool starts a pool of the given size; workers <= 0 selects one worker
+// per CPU (see Workers).
+func NewPool(workers int) *Pool {
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	n := Workers(workers)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		fn := p.queue[0]
+		copy(p.queue, p.queue[1:])
+		p.queue = p.queue[:len(p.queue)-1]
+		p.mu.Unlock()
+
+		p.run(fn)
+	}
+}
+
+// run executes one task, recording the first panic rather than killing the
+// worker; Close rethrows it so task panics are not silently swallowed.
+func (p *Pool) run(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			if p.panicked == nil {
+				p.panicked = r
+			}
+			p.mu.Unlock()
+		}
+	}()
+	fn()
+}
+
+// Submit enqueues fn for execution by some worker, in FIFO order. It never
+// blocks. Submitting to a closed pool panics: the pool's owner is
+// responsible for quiescing submitters before Close.
+func (p *Pool) Submit(fn func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("par: Submit on closed Pool")
+	}
+	p.queue = append(p.queue, fn)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Close waits for all queued and running tasks to finish, stops the
+// workers, and rethrows the first task panic (if any).
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+	if p.panicked != nil {
+		panic(p.panicked)
+	}
+}

@@ -1,0 +1,79 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			n.Add(1)
+		})
+	}
+	wg.Wait()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d tasks, want 100", got)
+	}
+	p.Close()
+}
+
+func TestPoolCloseDrainsQueue(t *testing.T) {
+	p := NewPool(1)
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		p.Submit(func() { n.Add(1) })
+	}
+	p.Close() // must wait for every queued task
+	if got := n.Load(); got != 50 {
+		t.Fatalf("Close returned with %d/50 tasks run", got)
+	}
+}
+
+func TestPoolSerializesAtWidthOne(t *testing.T) {
+	p := NewPool(1)
+	var order []int
+	var mu sync.Mutex
+	for i := 0; i < 20; i++ {
+		i := i
+		p.Submit(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	p.Close()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("width-1 pool ran out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestPoolPanicRethrownOnClose(t *testing.T) {
+	p := NewPool(2)
+	p.Submit(func() { panic("task boom") })
+	defer func() {
+		if r := recover(); r != "task boom" {
+			t.Fatalf("Close recovered %v, want task panic", r)
+		}
+	}()
+	p.Close()
+}
+
+func TestPoolSubmitAfterClosePanics(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit on closed pool did not panic")
+		}
+	}()
+	p.Submit(func() {})
+}

@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case coverage for ground-truth matching and the tally's ratio
+// metrics: empty inputs, zero-division conventions, and detections landing
+// in the overlap of two tolerance-padded events.
+
+func TestTallyZeroDivision(t *testing.T) {
+	var empty Tally
+	if p := empty.Precision(); p != 1 {
+		t.Errorf("empty Precision = %v, want 1 (no detections = nothing wrong)", p)
+	}
+	if r := empty.Recall(); r != 1 {
+		t.Errorf("empty Recall = %v, want 1 (no events = nothing missed)", r)
+	}
+	if f := empty.FPPerTP(); f != 0 {
+		t.Errorf("empty FPPerTP = %v, want 0", f)
+	}
+
+	fpOnly := Tally{FP: 3}
+	if p := fpOnly.Precision(); p != 0 {
+		t.Errorf("FP-only Precision = %v, want 0", p)
+	}
+	if f := fpOnly.FPPerTP(); !math.IsInf(f, 1) {
+		t.Errorf("FP-only FPPerTP = %v, want +Inf", f)
+	}
+
+	fnOnly := Tally{FN: 2}
+	if r := fnOnly.Recall(); r != 0 {
+		t.Errorf("FN-only Recall = %v, want 0", r)
+	}
+	if p := fnOnly.Precision(); p != 1 {
+		t.Errorf("FN-only Precision = %v, want 1 (no detections)", p)
+	}
+}
+
+func TestMatchEmptyTruth(t *testing.T) {
+	dets := []Detection{
+		{Start: 0, DecisionAt: 10, Label: 1},
+		{Start: 20, DecisionAt: 30, Label: 2},
+	}
+	tally := Match(dets, nil, 5)
+	if tally.TP != 0 || tally.FP != 2 || tally.FN != 0 {
+		t.Errorf("empty truth: TP/FP/FN = %d/%d/%d, want 0/2/0", tally.TP, tally.FP, tally.FN)
+	}
+	if p := tally.Precision(); p != 0 {
+		t.Errorf("Precision = %v, want 0", p)
+	}
+	if r := tally.Recall(); r != 1 {
+		t.Errorf("Recall = %v, want 1 (nothing to find)", r)
+	}
+}
+
+func TestMatchEmptyDetections(t *testing.T) {
+	truth := []GroundTruth{{Label: 1, Start: 0, End: 10}, {Label: 2, Start: 50, End: 60}}
+	tally := Match(nil, truth, 5)
+	if tally.TP != 0 || tally.FP != 0 || tally.FN != 2 {
+		t.Errorf("empty detections: TP/FP/FN = %d/%d/%d, want 0/0/2", tally.TP, tally.FP, tally.FN)
+	}
+	if len(tally.LeadTimes) != 0 {
+		t.Errorf("LeadTimes = %v, want empty", tally.LeadTimes)
+	}
+}
+
+// TestMatchOverlappingToleranceWindows puts one detection in the overlap
+// of two same-label events' tolerance halos: it must claim exactly one
+// event (the first in truth order), leaving the other a false negative,
+// never double-counting.
+func TestMatchOverlappingToleranceWindows(t *testing.T) {
+	truth := []GroundTruth{
+		{Label: 1, Start: 0, End: 20},
+		{Label: 1, Start: 25, End: 45},
+	}
+	// With tolerance 10, both events' halos cover DecisionAt 22.
+	dets := []Detection{{Start: 10, DecisionAt: 22, Label: 1}}
+	tally := Match(dets, truth, 10)
+	if tally.TP != 1 || tally.FP != 0 || tally.FN != 1 {
+		t.Errorf("TP/FP/FN = %d/%d/%d, want 1/0/1", tally.TP, tally.FP, tally.FN)
+	}
+	// The first truth entry claims it: lead time is measured against
+	// event 0's end (20 - 22 = -2), not event 1's.
+	if len(tally.LeadTimes) != 1 || tally.LeadTimes[0] != -2 {
+		t.Errorf("LeadTimes = %v, want [-2]", tally.LeadTimes)
+	}
+}
+
+// TestMatchDuplicateHitNotFP: a second detection on an already-claimed
+// event is neither a TP nor an FP.
+func TestMatchDuplicateHitNotFP(t *testing.T) {
+	truth := []GroundTruth{{Label: 1, Start: 0, End: 40}}
+	dets := []Detection{
+		{Start: 0, DecisionAt: 10, Label: 1},
+		{Start: 4, DecisionAt: 14, Label: 1},
+	}
+	tally := Match(dets, truth, 0)
+	if tally.TP != 1 || tally.FP != 0 || tally.FN != 0 {
+		t.Errorf("TP/FP/FN = %d/%d/%d, want 1/0/0", tally.TP, tally.FP, tally.FN)
+	}
+}
+
+// TestMatchLabelMismatch: right place, wrong label is a false positive and
+// the event stays unclaimed.
+func TestMatchLabelMismatch(t *testing.T) {
+	truth := []GroundTruth{{Label: 1, Start: 0, End: 40}}
+	dets := []Detection{{Start: 0, DecisionAt: 10, Label: 2}}
+	tally := Match(dets, truth, 5)
+	if tally.TP != 0 || tally.FP != 1 || tally.FN != 1 {
+		t.Errorf("TP/FP/FN = %d/%d/%d, want 0/1/1", tally.TP, tally.FP, tally.FN)
+	}
+}
+
+// TestMatchToleranceBoundaries pins the half-open halo arithmetic:
+// DecisionAt == Start-tolerance is in, DecisionAt == End+tolerance is out.
+func TestMatchToleranceBoundaries(t *testing.T) {
+	truth := []GroundTruth{{Label: 1, Start: 100, End: 120}}
+	const tol = 7
+	in := Match([]Detection{{DecisionAt: 100 - tol, Label: 1}}, truth, tol)
+	if in.TP != 1 {
+		t.Errorf("DecisionAt at Start-tolerance should match, got TP=%d", in.TP)
+	}
+	lastIn := Match([]Detection{{DecisionAt: 120 + tol - 1, Label: 1}}, truth, tol)
+	if lastIn.TP != 1 {
+		t.Errorf("DecisionAt at End+tolerance-1 should match, got TP=%d", lastIn.TP)
+	}
+	out := Match([]Detection{{DecisionAt: 120 + tol, Label: 1}}, truth, tol)
+	if out.TP != 0 || out.FP != 1 {
+		t.Errorf("DecisionAt at End+tolerance should not match, got TP=%d FP=%d", out.TP, out.FP)
+	}
+}
+
+// TestMatchCountsRecanted: recanted detections still tally TP/FP (the
+// alarm did fire) but are counted in Recanted.
+func TestMatchCountsRecanted(t *testing.T) {
+	truth := []GroundTruth{{Label: 1, Start: 0, End: 40}}
+	dets := []Detection{
+		{Start: 0, DecisionAt: 10, Label: 1, Recanted: true},
+		{Start: 60, DecisionAt: 70, Label: 1, Recanted: true},
+	}
+	tally := Match(dets, truth, 0)
+	if tally.Recanted != 2 {
+		t.Errorf("Recanted = %d, want 2", tally.Recanted)
+	}
+	if tally.TP != 1 || tally.FP != 1 {
+		t.Errorf("TP/FP = %d/%d, want 1/1", tally.TP, tally.FP)
+	}
+}

@@ -130,19 +130,13 @@ func (m *Monitor) Run(stream []float64) ([]Detection, error) {
 	return dets, nil
 }
 
-// suppress keeps the earliest detection in each same-label burst.
+// suppress keeps the earliest detection in each same-label burst. The sort
+// must be stable: same-DecisionAt ties stay in candidate-start order, the
+// order Online emits them, so the streaming Suppressor accepts exactly the
+// same detections.
 func suppress(dets []Detection, radius int) []Detection {
-	sort.Slice(dets, func(a, b int) bool { return dets[a].DecisionAt < dets[b].DecisionAt })
-	lastAt := map[int]int{}
-	var out []Detection
-	for _, d := range dets {
-		if at, ok := lastAt[d.Label]; ok && d.DecisionAt-at < radius {
-			continue
-		}
-		lastAt[d.Label] = d.DecisionAt
-		out = append(out, d)
-	}
-	return out
+	sort.SliceStable(dets, func(a, b int) bool { return dets[a].DecisionAt < dets[b].DecisionAt })
+	return NewSuppressor(radius).Filter(dets)
 }
 
 // GroundTruth is one annotated true event in the stream.

@@ -1,0 +1,46 @@
+package stream
+
+// Suppressor is the streaming form of Monitor's same-label debouncing: a
+// detection is kept unless an earlier *kept* detection with the same label
+// fired within Radius points of it. Fed detections in nondecreasing
+// DecisionAt order (the order Online emits them), it accepts exactly the
+// detections Monitor's post-hoc suppression accepts, which is what lets
+// the hub suppress incrementally yet stay byte-identical to the batch
+// path. A Radius <= 0 keeps everything.
+type Suppressor struct {
+	Radius int
+	lastAt map[int]int
+}
+
+// NewSuppressor builds a suppressor with the given radius.
+func NewSuppressor(radius int) *Suppressor {
+	return &Suppressor{Radius: radius, lastAt: map[int]int{}}
+}
+
+// Keep reports whether d survives suppression, updating internal state
+// when it does.
+func (s *Suppressor) Keep(d Detection) bool {
+	if s.Radius <= 0 {
+		return true
+	}
+	if s.lastAt == nil {
+		s.lastAt = map[int]int{}
+	}
+	if at, ok := s.lastAt[d.Label]; ok && d.DecisionAt-at < s.Radius {
+		return false
+	}
+	s.lastAt[d.Label] = d.DecisionAt
+	return true
+}
+
+// Filter applies Keep to a DecisionAt-ordered slice, returning the kept
+// detections.
+func (s *Suppressor) Filter(dets []Detection) []Detection {
+	var out []Detection
+	for _, d := range dets {
+		if s.Keep(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"etsc/internal/dataset"
+)
+
+// ChickenWindowLabels name the two classes of ChickenWindowDataset.
+const (
+	ChickenWindowDustbathing = 1 // window over a dustbathing onset (shake phase)
+	ChickenWindowBackground  = 2 // window over any other behaviour
+)
+
+// ChickenWindowDataset builds a UCR-style labeled window dataset from the
+// chicken generator's bout vocabulary, the training substrate an early
+// classifier needs before it can monitor ChickenStream telemetry: class 1
+// windows cover dustbathing onsets (the stereotyped shake phase Fig. 8's
+// template matches), class 2 windows cover the other four behaviours in
+// rotation. Windows carry the generator's sensor noise, so a classifier
+// trained here sees the same point distribution the stream emits.
+func ChickenWindowDataset(rng *rand.Rand, cfg ChickenConfig, perClass, windowLen int) (*dataset.Dataset, error) {
+	if perClass <= 0 {
+		return nil, fmt.Errorf("synth: ChickenWindowDataset needs perClass > 0, got %d", perClass)
+	}
+	if windowLen <= 0 || windowLen > DustbathingTemplateLen+50 {
+		return nil, fmt.Errorf("synth: ChickenWindowDataset windowLen %d out of (0, %d]", windowLen, DustbathingTemplateLen+50)
+	}
+	ins := make([]dataset.Instance, 0, 2*perClass)
+	for i := 0; i < perClass; i++ {
+		var bout []float64
+		for tries := 0; ; tries++ {
+			bout = dustbathingBout(rng, cfg)
+			if len(bout) >= windowLen {
+				break
+			}
+			if tries > 100 {
+				return nil, fmt.Errorf("synth: dustbathing bouts shorter than window %d", windowLen)
+			}
+		}
+		w := append([]float64(nil), bout[:windowLen]...)
+		addNoise(rng, w, cfg.NoiseSigma)
+		ins = append(ins, dataset.Instance{Label: ChickenWindowDustbathing, Series: w})
+	}
+	for i := 0; i < perClass; i++ {
+		var w []float64
+		switch i % 4 {
+		case 0:
+			w = restingBout(rng, windowLen)
+		case 1:
+			w = walkingBout(rng, windowLen)
+		case 2:
+			w = peckingBout(rng, windowLen)
+		default:
+			w = preeningBout(rng, windowLen)
+		}
+		addNoise(rng, w, cfg.NoiseSigma)
+		ins = append(ins, dataset.Instance{Label: ChickenWindowBackground, Series: w})
+	}
+	return dataset.New("chicken-windows", ins)
+}

@@ -1,0 +1,51 @@
+package synth
+
+import "testing"
+
+func TestChickenWindowDataset(t *testing.T) {
+	cfg := DefaultChickenConfig()
+	d, err := ChickenWindowDataset(NewRand(3), cfg, 10, DustbathingTemplateLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 20 {
+		t.Fatalf("got %d instances, want 20", d.Len())
+	}
+	if d.SeriesLen() != DustbathingTemplateLen {
+		t.Fatalf("series length %d, want %d", d.SeriesLen(), DustbathingTemplateLen)
+	}
+	counts := d.ClassCounts()
+	if counts[ChickenWindowDustbathing] != 10 || counts[ChickenWindowBackground] != 10 {
+		t.Fatalf("class counts %v, want 10 per class", counts)
+	}
+	// The onset windows carry the shake phase's vigour; background windows
+	// must be visibly tamer on average, or the classes are not learnable.
+	var on, off float64
+	for _, in := range d.Instances {
+		var e float64
+		for _, v := range in.Series {
+			e += v * v
+		}
+		if in.Label == ChickenWindowDustbathing {
+			on += e
+		} else {
+			off += e
+		}
+	}
+	if on <= off {
+		t.Errorf("dustbathing windows have energy %.1f <= background %.1f", on, off)
+	}
+}
+
+func TestChickenWindowDatasetValidation(t *testing.T) {
+	cfg := DefaultChickenConfig()
+	if _, err := ChickenWindowDataset(NewRand(1), cfg, 0, 120); err == nil {
+		t.Error("accepted perClass 0")
+	}
+	if _, err := ChickenWindowDataset(NewRand(1), cfg, 5, 0); err == nil {
+		t.Error("accepted windowLen 0")
+	}
+	if _, err := ChickenWindowDataset(NewRand(1), cfg, 5, 10_000); err == nil {
+		t.Error("accepted oversized windowLen")
+	}
+}
