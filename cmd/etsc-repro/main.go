@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	etsc-repro [-quick] [-seed N] [-run fig1,fig2,...] [-workers N]
+//	etsc-repro [-quick] [-seed N] [-run fig1,fig2,...] [-workers N] [-traincache]
 //
 // With no -run flag every experiment runs, in paper order. Output is the
 // text tables recorded in EXPERIMENTS.md.
@@ -56,13 +56,14 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	run := flag.String("run", "", "comma-separated experiment names (default: all)")
 	workers := flag.Int("workers", 0, "worker pool size for parallel evaluation (0 = NumCPU, 1 = serial; results identical)")
+	traincache := flag.Bool("traincache", false, "train algorithm suites through a shared memoized prefix-distance context (results identical, training faster)")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "etsc-repro: -workers must be >= 0 (0 = NumCPU), got %d\n", *workers)
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallelism: *workers}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallelism: *workers, TrainCache: *traincache}
 
 	all := []runner{
 		{"fig1", "cat/dog utterances in the UCR format", wrap(experiments.RunFig1)},

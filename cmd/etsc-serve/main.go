@@ -27,6 +27,11 @@
 // -rate points/sec per stream (0 = as fast as the hub accepts), then
 // prints aggregate throughput, p50/p99 Push latency, and per-kind
 // detection tallies.
+//
+// In both modes -traincache warm-starts the demo detectors through shared
+// memoized training contexts (hub.DemoKindsShared): identical pipelines,
+// faster startup — every stream of a kind shares the one trained detector
+// regardless.
 package main
 
 import (
@@ -49,15 +54,16 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "HTTP listen address (server mode)")
-		workers = flag.Int("workers", 0, "hub worker pool size (0 = NumCPU)")
-		queue   = flag.Int("queue", 0, "per-stream queue depth in batches (0 = default)")
-		policy  = flag.String("policy", "block", "backpressure policy: block or drop")
-		seed    = flag.Int64("seed", 1, "scenario seed for the demo pipelines")
-		streams = flag.Int("streams", 0, "load-generator mode: number of streams (0 = serve HTTP)")
-		points  = flag.Int("points", 20_000, "load generator: points per stream")
-		batch   = flag.Int("batch", 64, "load generator: points per Push")
-		rate    = flag.Float64("rate", 0, "load generator: points/sec per stream (0 = unthrottled)")
+		addr       = flag.String("addr", ":8080", "HTTP listen address (server mode)")
+		workers    = flag.Int("workers", 0, "hub worker pool size (0 = NumCPU)")
+		queue      = flag.Int("queue", 0, "per-stream queue depth in batches (0 = default)")
+		policy     = flag.String("policy", "block", "backpressure policy: block or drop")
+		seed       = flag.Int64("seed", 1, "scenario seed for the demo pipelines")
+		streams    = flag.Int("streams", 0, "load-generator mode: number of streams (0 = serve HTTP)")
+		points     = flag.Int("points", 20_000, "load generator: points per stream")
+		batch      = flag.Int("batch", 64, "load generator: points per Push")
+		rate       = flag.Float64("rate", 0, "load generator: points/sec per stream (0 = unthrottled)")
+		traincache = flag.Bool("traincache", false, "warm-start the demo detectors through shared memoized training contexts (identical pipelines, faster startup)")
 	)
 	flag.Parse()
 
@@ -71,10 +77,23 @@ func main() {
 		log.Fatalf("unknown -policy %q (want block or drop)", *policy)
 	}
 
-	kinds, err := hub.DemoKinds(*seed)
+	// Warm start: every stream of a kind shares one trained detector either
+	// way; -traincache additionally trains the kinds concurrently through
+	// shared memoized contexts, which only changes startup wall-clock time
+	// (TestDemoKindsSharedMatchesDemoKinds pins the transcripts).
+	trainStart := time.Now()
+	var kinds []hub.Kind
+	var err error
+	if *traincache {
+		kinds, err = hub.DemoKindsShared(*seed, *workers)
+	} else {
+		kinds, err = hub.DemoKinds(*seed)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("etsc-serve: trained %d demo kinds in %v (traincache=%v)",
+		len(kinds), time.Since(trainStart).Round(time.Millisecond), *traincache)
 	h, err := hub.New(hub.Config{Workers: *workers, QueueDepth: *queue, Policy: pol})
 	if err != nil {
 		log.Fatal(err)

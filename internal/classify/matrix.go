@@ -1,0 +1,197 @@
+package classify
+
+import (
+	"fmt"
+
+	"etsc/internal/dataset"
+	"etsc/internal/par"
+	"etsc/internal/ts"
+)
+
+// This file is the matrix-backed cross-validation path: once the pairwise
+// prefix distances of a dataset live in a shared ts.PrefixDistMatrix
+// (typically the one inside an etsc.TrainContext), a "fold" stops being a
+// retraining problem and becomes a row mask — the held-out instances'
+// nearest neighbours are looked up among the rows whose fold differs,
+// with zero distance recomputation. Leave-one-out, k-fold, and the Fig. 9
+// style per-prefix error sweep all reduce to the same masked argmin.
+//
+// Determinism contract: fold assignment is a pure function of the dataset
+// (class-ordered round-robin, no RNG), every held-out prediction is an
+// index-owned slot filled through par.Do, and the confusion matrix is
+// assembled in instance order — so the evaluation, fold assignment
+// included, is identical for every worker count. matrix_test.go pins this.
+
+// NewDatasetMatrix builds a prefix-distance matrix over the instances of d
+// (nothing materialized yet) — the entry point for callers that do not
+// already hold one from a training context.
+func NewDatasetMatrix(d *dataset.Dataset, workers int) (*ts.PrefixDistMatrix, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, fmt.Errorf("classify: empty dataset")
+	}
+	refs := make([][]float64, d.Len())
+	for i, in := range d.Instances {
+		refs[i] = in.Series
+	}
+	return ts.NewPrefixDistMatrix(refs, workers)
+}
+
+// checkMatrix validates that m was built over d.
+func checkMatrix(d *dataset.Dataset, m *ts.PrefixDistMatrix) error {
+	if d == nil || d.Len() == 0 {
+		return fmt.Errorf("classify: empty dataset")
+	}
+	if m == nil {
+		return fmt.Errorf("classify: nil matrix")
+	}
+	if m.Size() != d.Len() || m.MaxLen() != d.SeriesLen() {
+		return fmt.Errorf("classify: matrix shape %d×%d does not match dataset %d×%d",
+			m.Size(), m.MaxLen(), d.Len(), d.SeriesLen())
+	}
+	return nil
+}
+
+// Folds assigns every instance of d to one of k folds, deterministically:
+// instances are walked class by class (sorted labels, ascending index
+// within a class) and dealt round-robin with one counter carried across
+// classes — so folds are stratified (per class, sizes differ by at most
+// one), every fold is non-empty (the global deal spreads n >= k instances
+// over all k folds even when single-instance classes would otherwise pile
+// into fold 0), and the assignment is a pure function of the dataset — no
+// RNG, no worker-count dependence.
+func Folds(d *dataset.Dataset, k int) ([]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("classify: need k >= 2 folds, got %d", k)
+	}
+	if d == nil || d.Len() < k {
+		return nil, fmt.Errorf("classify: need at least %d instances for %d folds", k, k)
+	}
+	folds := make([]int, d.Len())
+	byClass := d.ByClass()
+	next := 0
+	for _, label := range d.Labels() {
+		for _, idx := range byClass[label] {
+			folds[idx] = next % k
+			next++
+		}
+	}
+	return folds, nil
+}
+
+// maskedNearest returns the 1NN label of instance i at prefix length l
+// among instances j with excluded[j] false, scanning in ascending index
+// order with a strict comparison (first index wins ties). ok is false when
+// the mask excluded every candidate — the caller must not count a
+// fabricated prediction (mirrors LeaveOneOutParallel's scored mask).
+func maskedNearest(d *dataset.Dataset, m *ts.PrefixDistMatrix, i, l int, excluded func(j int) bool) (label int, ok bool) {
+	best, bestD := 0, -1.0
+	for j, in := range d.Instances {
+		if j == i || excluded(j) {
+			continue
+		}
+		dd := m.D2(i, j, l)
+		if bestD < 0 || dd < bestD {
+			best, bestD = in.Label, dd
+		}
+	}
+	return best, bestD >= 0
+}
+
+// LeaveOneOutMatrix is leave-one-out cross-validation of 1NN raw-Euclidean
+// classification at prefix length l, with every fold a row mask over the
+// shared matrix: O(n²) lookups after the (shared, memoized) materialization
+// instead of O(n²·l) distance recomputation per call.
+func LeaveOneOutMatrix(d *dataset.Dataset, m *ts.PrefixDistMatrix, l, workers int) (Evaluation, error) {
+	if err := checkMatrix(d, m); err != nil {
+		return Evaluation{}, err
+	}
+	if l < 1 || l > d.SeriesLen() {
+		return Evaluation{}, fmt.Errorf("classify: prefix length %d out of range 1..%d", l, d.SeriesLen())
+	}
+	if err := m.Ensure(l); err != nil {
+		return Evaluation{}, err
+	}
+	preds := make([]int, d.Len())
+	scored := make([]bool, d.Len())
+	par.Do(d.Len(), workers, func(i int) {
+		preds[i], scored[i] = maskedNearest(d, m, i, l, func(int) bool { return false })
+	})
+	return tally(d, preds, scored), nil
+}
+
+// CrossValidateMatrix is stratified k-fold cross-validation of 1NN
+// raw-Euclidean classification at full length over the shared matrix: each
+// fold's held-out instances are classified among the other folds' rows by
+// masking, never by retraining. It returns the evaluation and the
+// deterministic fold assignment (see Folds).
+func CrossValidateMatrix(d *dataset.Dataset, m *ts.PrefixDistMatrix, k, workers int) (Evaluation, []int, error) {
+	if err := checkMatrix(d, m); err != nil {
+		return Evaluation{}, nil, err
+	}
+	folds, err := Folds(d, k)
+	if err != nil {
+		return Evaluation{}, nil, err
+	}
+	l := d.SeriesLen()
+	if err := m.Ensure(l); err != nil {
+		return Evaluation{}, nil, err
+	}
+	preds := make([]int, d.Len())
+	scored := make([]bool, d.Len())
+	par.Do(d.Len(), workers, func(i int) {
+		preds[i], scored[i] = maskedNearest(d, m, i, l, func(j int) bool { return folds[j] == folds[i] })
+	})
+	return tally(d, preds, scored), folds, nil
+}
+
+// LOOPrefixSweepMatrix is the Fig. 9-shaped error curve without a separate
+// test set: leave-one-out 1NN error at every prefix length from from to to
+// step by, every (length, held-out instance) pair a masked lookup into the
+// one shared tensor. Where PrefixSweep pays a truncate-train-evaluate cycle
+// per length, this pays the pairwise materialization once — across the
+// whole sweep and every other consumer of the same matrix.
+func LOOPrefixSweepMatrix(d *dataset.Dataset, m *ts.PrefixDistMatrix, from, to, by, workers int) ([]PrefixSweepPoint, error) {
+	if err := checkMatrix(d, m); err != nil {
+		return nil, err
+	}
+	if from < 1 || to > d.SeriesLen() || from > to || by < 1 {
+		return nil, fmt.Errorf("classify: LOOPrefixSweepMatrix range %d..%d step %d invalid for length %d",
+			from, to, by, d.SeriesLen())
+	}
+	if err := m.Ensure(to); err != nil {
+		return nil, err
+	}
+	lengths := make([]int, 0, (to-from)/by+1)
+	for n := from; n <= to; n += by {
+		lengths = append(lengths, n)
+	}
+	out := make([]PrefixSweepPoint, len(lengths))
+	par.Do(len(lengths), workers, func(k int) {
+		l := lengths[k]
+		errs := 0
+		for i, in := range d.Instances {
+			if label, ok := maskedNearest(d, m, i, l, func(int) bool { return false }); !ok || label != in.Label {
+				errs++
+			}
+		}
+		out[k] = PrefixSweepPoint{PrefixLen: l, ErrorRate: float64(errs) / float64(d.Len())}
+	})
+	return out, nil
+}
+
+// tally assembles per-instance predictions, in instance order, into an
+// Evaluation, skipping instances no candidate could score.
+func tally(d *dataset.Dataset, preds []int, scored []bool) Evaluation {
+	ev := Evaluation{Confusion: NewConfusionMatrix()}
+	for i, in := range d.Instances {
+		if !scored[i] {
+			continue
+		}
+		ev.Total++
+		if preds[i] == in.Label {
+			ev.Correct++
+		}
+		ev.Confusion.Add(in.Label, preds[i])
+	}
+	return ev
+}

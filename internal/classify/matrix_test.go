@@ -1,0 +1,246 @@
+package classify
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"etsc/internal/dataset"
+	"etsc/internal/synth"
+)
+
+func matrixSplit(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	cfg := synth.DefaultGunPointConfig()
+	cfg.PerClassSize = 15
+	d, err := synth.GunPoint(synth.NewRand(11), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// confusionSnapshot renders a confusion matrix to a comparable value.
+func confusionSnapshot(ev Evaluation) map[[2]int]int {
+	out := map[[2]int]int{}
+	for _, a := range ev.Confusion.Labels() {
+		for _, p := range ev.Confusion.Labels() {
+			if c := ev.Confusion.Count(a, p); c > 0 {
+				out[[2]int{a, p}] = c
+			}
+		}
+	}
+	return out
+}
+
+// TestLeaveOneOutMatrixMatchesDirect pins the masked-row LOOCV to the
+// existing from-scratch LeaveOneOut under the raw Euclidean distance: same
+// accuracy, same confusion matrix.
+func TestLeaveOneOutMatrixMatchesDirect(t *testing.T) {
+	d := matrixSplit(t)
+	m, err := NewDatasetMatrix(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LeaveOneOut(d, EuclideanDistance{})
+	got, err := LeaveOneOutMatrix(d, m, d.SeriesLen(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Correct != want.Correct || got.Total != want.Total {
+		t.Fatalf("matrix LOOCV %d/%d != direct %d/%d", got.Correct, got.Total, want.Correct, want.Total)
+	}
+	if !reflect.DeepEqual(confusionSnapshot(got), confusionSnapshot(want)) {
+		t.Fatalf("confusion mismatch:\n got %v\nwant %v", confusionSnapshot(got), confusionSnapshot(want))
+	}
+}
+
+// TestFoldMaskingDeterministicUnderParallelism is the fold-masking
+// determinism pin: fold assignment and the full evaluation output
+// (accuracy, confusion matrix, sweep curve) must be identical for workers
+// ∈ {1, 4, GOMAXPROCS}, for LOOCV, k-fold CV, and the LOO prefix sweep.
+func TestFoldMaskingDeterministicUnderParallelism(t *testing.T) {
+	d := matrixSplit(t)
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	var wantLOO, wantCV Evaluation
+	var wantFolds []int
+	var wantSweep []PrefixSweepPoint
+	for wi, workers := range workerCounts {
+		// A fresh matrix per worker count: materialization itself must also
+		// be worker-count independent.
+		m, err := NewDatasetMatrix(d, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loo, err := LeaveOneOutMatrix(d, m, d.SeriesLen(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv, folds, err := CrossValidateMatrix(d, m, 5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep, err := LOOPrefixSweepMatrix(d, m, 10, d.SeriesLen(), 10, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wi == 0 {
+			wantLOO, wantCV, wantFolds, wantSweep = loo, cv, folds, sweep
+			continue
+		}
+		if !reflect.DeepEqual(folds, wantFolds) {
+			t.Errorf("workers=%d: fold assignment differs", workers)
+		}
+		if loo.Correct != wantLOO.Correct || !reflect.DeepEqual(confusionSnapshot(loo), confusionSnapshot(wantLOO)) {
+			t.Errorf("workers=%d: LOOCV output differs", workers)
+		}
+		if cv.Correct != wantCV.Correct || !reflect.DeepEqual(confusionSnapshot(cv), confusionSnapshot(wantCV)) {
+			t.Errorf("workers=%d: k-fold output differs", workers)
+		}
+		if !reflect.DeepEqual(sweep, wantSweep) {
+			t.Errorf("workers=%d: LOO prefix sweep differs", workers)
+		}
+	}
+	if wantLOO.Total != d.Len() || wantCV.Total != d.Len() {
+		t.Fatalf("evaluations did not cover the dataset: %d/%d of %d", wantLOO.Total, wantCV.Total, d.Len())
+	}
+}
+
+// TestFoldsStratifiedAndDeterministic pins the fold constructor: class-
+// balanced round-robin assignment, identical across calls, no RNG.
+func TestFoldsStratifiedAndDeterministic(t *testing.T) {
+	d := matrixSplit(t)
+	const k = 5
+	a, err := Folds(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Folds(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("fold assignment not deterministic")
+	}
+	// Stratification: per class, fold sizes differ by at most one.
+	for _, label := range d.Labels() {
+		counts := make([]int, k)
+		for i, in := range d.Instances {
+			if in.Label == label {
+				counts[a[i]]++
+			}
+		}
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("label %d: fold sizes %v not balanced", label, counts)
+		}
+	}
+	if _, err := Folds(d, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Folds(nil, 2); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
+// TestFoldsSingletonClassesSpreadAcrossFolds is the regression pin for the
+// global round-robin: one-instance classes must not all pile into fold 0
+// (which would leave folds empty and make every k-fold mask exclude all
+// candidates).
+func TestFoldsSingletonClassesSpreadAcrossFolds(t *testing.T) {
+	instances := make([]dataset.Instance, 4)
+	for i := range instances {
+		s := make([]float64, 8)
+		for j := range s {
+			s[j] = float64(i*10 + j)
+		}
+		instances[i] = dataset.Instance{Label: i + 1, Series: s}
+	}
+	d, err := dataset.New("singletons", instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 2
+	folds, err := Folds(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, k)
+	for _, f := range folds {
+		counts[f]++
+	}
+	for f, c := range counts {
+		if c == 0 {
+			t.Fatalf("fold %d empty: assignment %v", f, folds)
+		}
+	}
+	m, err := NewDatasetMatrix(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _, err := CrossValidateMatrix(d, m, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Total != d.Len() {
+		t.Fatalf("k-fold scored %d of %d instances", ev.Total, d.Len())
+	}
+	// Singleton classes can never be predicted correctly under LOO-style
+	// masking, but the labels in the confusion matrix must all be real.
+	for _, lab := range ev.Confusion.Labels() {
+		if lab < 1 || lab > len(instances) {
+			t.Fatalf("fabricated label %d in confusion matrix", lab)
+		}
+	}
+}
+
+// TestMatrixAPIValidation covers the shape and range rejections.
+func TestMatrixAPIValidation(t *testing.T) {
+	d := matrixSplit(t)
+	m, err := NewDatasetMatrix(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDatasetMatrix(nil, 1); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := LeaveOneOutMatrix(d, nil, 10, 1); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := LeaveOneOutMatrix(d, m, 0, 1); err == nil {
+		t.Error("length 0 accepted")
+	}
+	if _, err := LeaveOneOutMatrix(d, m, d.SeriesLen()+1, 1); err == nil {
+		t.Error("over-length accepted")
+	}
+	if _, _, err := CrossValidateMatrix(d, m, 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := LOOPrefixSweepMatrix(d, m, 0, 10, 2, 1); err == nil {
+		t.Error("from=0 accepted")
+	}
+	if _, err := LOOPrefixSweepMatrix(d, m, 10, 5, 2, 1); err == nil {
+		t.Error("from>to accepted")
+	}
+	// Mismatched matrix: built over a truncation of d.
+	short, err := d.Truncate(20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewDatasetMatrix(short, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LeaveOneOutMatrix(d, sm, 10, 1); err == nil {
+		t.Error("mismatched matrix accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"etsc/internal/dataset"
+	"etsc/internal/par"
 )
 
 // CostAware implements the cost-based optimization framing of early
@@ -53,6 +54,52 @@ func DefaultCostAwareConfig() CostAwareConfig {
 
 // NewCostAware trains the model.
 func NewCostAware(train *dataset.Dataset, cfg CostAwareConfig) (*CostAware, error) {
+	c, err := costAwareSetup(train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.fitErrAt(func(i, l int) int {
+		return c.nearestLabel(train.Instances[i].Series[:l], i)
+	}, 1)
+	return c, nil
+}
+
+// NewCostAwareWith is NewCostAware over a shared TrainContext: the
+// per-snapshot leave-one-out 1NN error curve — the O(snapshots·n²·l) bulk
+// of training — reads the context's memoized raw prefix-distance matrix
+// and fans across its pool. The trained model is byte-identical to
+// NewCostAware for any worker count: the direct scan's early abandoning
+// never changes the strict first-wins argmin, matrix entries equal the
+// direct partial sums, and the error tallies are assembled in instance
+// order.
+func NewCostAwareWith(tc *TrainContext, cfg CostAwareConfig) (*CostAware, error) {
+	c, err := costAwareSetup(tc.train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.lengths) > 0 {
+		if err := tc.m.Ensure(c.lengths[len(c.lengths)-1]); err != nil {
+			return nil, err
+		}
+	}
+	c.fitErrAt(func(i, l int) int {
+		best, bestD := 0, math.Inf(1)
+		for j, in := range tc.train.Instances {
+			if j == i {
+				continue
+			}
+			if d := tc.m.D2(i, j, l); d < bestD {
+				best, bestD = in.Label, d
+			}
+		}
+		return best
+	}, tc.workers)
+	return c, nil
+}
+
+// costAwareSetup validates the configuration and builds the untrained
+// model with its snapshot lengths.
+func costAwareSetup(train *dataset.Dataset, cfg CostAwareConfig) (*CostAware, error) {
 	if train == nil || train.Len() < 2 {
 		return nil, errors.New("etsc: CostAware needs at least 2 training instances")
 	}
@@ -86,17 +133,27 @@ func NewCostAware(train *dataset.Dataset, cfg CostAwareConfig) (*CostAware, erro
 		}
 		c.lengths = append(c.lengths, l)
 	}
-	// Leave-one-out 1NN error on raw prefixes at each snapshot.
+	return c, nil
+}
+
+// fitErrAt learns the leave-one-out 1NN error on raw prefixes at each
+// snapshot. nearest(i, l) must return the held-out 1NN label of training
+// instance i at prefix length l; calls for distinct i are fanned across
+// the pool, and the error counts are tallied in instance order.
+func (c *CostAware) fitErrAt(nearest func(i, l int) int, workers int) {
 	for _, l := range c.lengths {
+		labels := make([]int, c.train.Len())
+		par.Do(c.train.Len(), workers, func(i int) {
+			labels[i] = nearest(i, l)
+		})
 		errs := 0
-		for i, in := range train.Instances {
-			if label := c.nearestLabel(in.Series[:l], i); label != in.Label {
+		for i, in := range c.train.Instances {
+			if labels[i] != in.Label {
 				errs++
 			}
 		}
-		c.errAt = append(c.errAt, float64(errs)/float64(train.Len()))
+		c.errAt = append(c.errAt, float64(errs)/float64(c.train.Len()))
 	}
-	return c, nil
 }
 
 // nearestLabel is raw-prefix 1NN excluding index skip (-1 for none).
@@ -188,9 +245,14 @@ func (c *CostAware) PosteriorPrefix(prefix []float64) map[int]float64 {
 }
 
 // topAndMargin extracts the MAP label and top-two margin from a posterior.
+// Labels are scanned in sorted order so exact probability ties break toward
+// the smallest label in every caller — randomized map order here would let
+// two trainings of the same set (direct or context) disagree, which the
+// byte-identical train-equivalence contract cannot tolerate.
 func topAndMargin(post map[int]float64) (label int, margin float64) {
 	best, second := -1.0, -1.0
-	for lab, p := range post {
+	for _, lab := range sortedLabels(post) {
+		p := post[lab]
 		if p > best {
 			second = best
 			best = p

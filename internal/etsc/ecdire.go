@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"etsc/internal/dataset"
+	"etsc/internal/par"
+	"etsc/internal/ts"
 )
 
 // ECDIRE implements the "Early Classification framework for time series
@@ -51,14 +54,51 @@ func DefaultECDIREConfig() ECDIREConfig {
 
 // NewECDIRE trains the model.
 func NewECDIRE(train *dataset.Dataset, cfg ECDIREConfig) (*ECDIRE, error) {
+	cfg, err := ecdireCheck(train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := ecdireSetup(train, cfg)
+	e.fit(func(i, l int) map[int]float64 {
+		return e.looPosterior(train.Instances[i].Series[:l], i)
+	}, 1)
+	return e, nil
+}
+
+// NewECDIREWith is NewECDIRE over a shared TrainContext: the per-snapshot
+// leave-one-out distance scans — the dominant O(snapshots·n²·l) training
+// cost — read the context's memoized raw prefix-distance matrix and fan
+// across its pool, one held-out instance per index-owned slot. The trained
+// model is byte-identical to NewECDIRE for any worker count: matrix entries
+// are the exact partial sums the direct scan accumulates, and the recall
+// and margin tallies are assembled in instance order.
+func NewECDIREWith(c *TrainContext, cfg ECDIREConfig) (*ECDIRE, error) {
+	cfg, err := ecdireCheck(c.train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := ecdireSetup(c.train, cfg)
+	if len(e.lengths) > 0 {
+		if err := c.m.Ensure(e.lengths[len(e.lengths)-1]); err != nil {
+			return nil, err
+		}
+	}
+	e.fit(func(i, l int) map[int]float64 {
+		return e.looPosteriorMatrix(c.m, i, l)
+	}, c.workers)
+	return e, nil
+}
+
+// ecdireCheck validates and normalizes the configuration.
+func ecdireCheck(train *dataset.Dataset, cfg ECDIREConfig) (ECDIREConfig, error) {
 	if train == nil || train.Len() < 2 {
-		return nil, errors.New("etsc: ECDIRE needs at least 2 training instances")
+		return cfg, errors.New("etsc: ECDIRE needs at least 2 training instances")
 	}
 	if err := train.Validate(); err != nil {
-		return nil, fmt.Errorf("etsc: ECDIRE: %w", err)
+		return cfg, fmt.Errorf("etsc: ECDIRE: %w", err)
 	}
 	if cfg.AccFraction <= 0 || cfg.AccFraction > 1 {
-		return nil, fmt.Errorf("etsc: ECDIRE AccFraction must be in (0,1], got %v", cfg.AccFraction)
+		return cfg, fmt.Errorf("etsc: ECDIRE AccFraction must be in (0,1], got %v", cfg.AccFraction)
 	}
 	if cfg.Snapshots < 2 {
 		cfg.Snapshots = 2
@@ -66,6 +106,11 @@ func NewECDIRE(train *dataset.Dataset, cfg ECDIREConfig) (*ECDIRE, error) {
 	if cfg.Sharpness <= 0 {
 		cfg.Sharpness = 3
 	}
+	return cfg, nil
+}
+
+// ecdireSetup builds the untrained model and its snapshot lengths.
+func ecdireSetup(train *dataset.Dataset, cfg ECDIREConfig) *ECDIRE {
 	L := train.SeriesLen()
 	e := &ECDIRE{
 		AccFraction: cfg.AccFraction,
@@ -86,22 +131,36 @@ func NewECDIRE(train *dataset.Dataset, cfg ECDIREConfig) (*ECDIRE, error) {
 		}
 		e.lengths = append(e.lengths, l)
 	}
+	return e
+}
 
-	// Per-class LOO recall at every snapshot, plus the margins of correct
-	// predictions (for the reliability thresholds).
+// fit learns the safe timestamps and reliability thresholds from a
+// leave-one-out posterior source. loo(i, l) must return the posterior of
+// training instance i's length-l prefix with i excluded; calls for distinct
+// i are fanned across the pool, and all tallies are assembled in instance
+// order so the fit is identical for every worker count.
+func (e *ECDIRE) fit(loo func(i, l int) map[int]float64, workers int) {
+	train := e.train
 	labels := train.Labels()
 	classTotal := train.ClassCounts()
 	recall := make([]map[int]float64, len(e.lengths))
 	margins := make([]map[int][]float64, len(e.lengths))
+	type looResult struct {
+		label  int
+		margin float64
+	}
 	for k, l := range e.lengths {
+		results := make([]looResult, train.Len())
+		par.Do(train.Len(), workers, func(i int) {
+			label, margin := topAndMargin(loo(i, l))
+			results[i] = looResult{label, margin}
+		})
 		correct := map[int]int{}
 		margins[k] = map[int][]float64{}
 		for i, in := range train.Instances {
-			post := e.looPosterior(in.Series[:l], i)
-			label, margin := topAndMargin(post)
-			if label == in.Label {
+			if results[i].label == in.Label {
 				correct[in.Label]++
-				margins[k][in.Label] = append(margins[k][in.Label], margin)
+				margins[k][in.Label] = append(margins[k][in.Label], results[i].margin)
 			}
 		}
 		recall[k] = map[int]float64{}
@@ -112,7 +171,7 @@ func NewECDIRE(train *dataset.Dataset, cfg ECDIREConfig) (*ECDIRE, error) {
 
 	last := len(e.lengths) - 1
 	for _, lab := range labels {
-		target := cfg.AccFraction * recall[last][lab]
+		target := e.AccFraction * recall[last][lab]
 		idx := last
 		for k := range e.lengths {
 			if recall[k][lab] >= target {
@@ -134,7 +193,6 @@ func NewECDIRE(train *dataset.Dataset, cfg ECDIREConfig) (*ECDIRE, error) {
 		}
 		e.relThr[lab] = thr
 	}
-	return e, nil
 }
 
 // looPosterior is the softmin posterior over raw prefixes with instance
@@ -156,9 +214,38 @@ func (e *ECDIRE) looPosterior(prefix []float64, skip int) map[int]float64 {
 			nearest[in.Label] = d
 		}
 	}
+	return softminFromNearest(nearest, e.sharp)
+}
+
+// looPosteriorMatrix is looPosterior with the distance scan replaced by
+// memoized matrix lookups: the matrix stores the exact in-order partial
+// sums the direct scan accumulates, so both paths feed identical distances
+// into the shared softmin.
+func (e *ECDIRE) looPosteriorMatrix(m *ts.PrefixDistMatrix, skip, l int) map[int]float64 {
+	nearest := map[int]float64{}
+	for i, in := range e.train.Instances {
+		if i == skip {
+			continue
+		}
+		d := math.Sqrt(m.D2(skip, i, l))
+		if cur, ok := nearest[in.Label]; !ok || d < cur {
+			nearest[in.Label] = d
+		}
+	}
+	return softminFromNearest(nearest, e.sharp)
+}
+
+// softminFromNearest converts per-class nearest distances into a
+// normalized softmin posterior — the shared tail of both LOO paths. All
+// reductions iterate labels in sorted order: float sums over Go's
+// randomized map order would differ in the last ulps between two otherwise
+// identical trainings of a 3+-class set, which the byte-identical
+// train-equivalence contract cannot tolerate.
+func softminFromNearest(nearest map[int]float64, sharp float64) map[int]float64 {
+	labels := sortedLabels(nearest)
 	mean := 0.0
-	for _, d := range nearest {
-		mean += d
+	for _, lab := range labels {
+		mean += nearest[lab]
 	}
 	mean /= float64(len(nearest))
 	if mean < 1e-12 {
@@ -166,15 +253,25 @@ func (e *ECDIRE) looPosterior(prefix []float64, skip int) map[int]float64 {
 	}
 	sum := 0.0
 	out := make(map[int]float64, len(nearest))
-	for lab, d := range nearest {
-		p := math.Exp(-e.sharp * d / mean)
+	for _, lab := range labels {
+		p := math.Exp(-sharp * nearest[lab] / mean)
 		out[lab] = p
 		sum += p
 	}
-	for lab := range out {
+	for _, lab := range labels {
 		out[lab] /= sum
 	}
 	return out
+}
+
+// sortedLabels returns the keys of a per-class map in ascending order.
+func sortedLabels(m map[int]float64) []int {
+	labels := make([]int, 0, len(m))
+	for lab := range m {
+		labels = append(labels, lab)
+	}
+	sort.Ints(labels)
+	return labels
 }
 
 // SafeLength returns the learned safe timestamp (in points) for a class.

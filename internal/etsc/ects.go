@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"etsc/internal/dataset"
+	"etsc/internal/par"
 	"etsc/internal/ts"
 )
 
@@ -40,11 +41,8 @@ type ECTS struct {
 
 // NewECTS trains an ECTS model.
 func NewECTS(train *dataset.Dataset, relaxed bool, minSupport int) (*ECTS, error) {
-	if train == nil || train.Len() < 2 {
-		return nil, errors.New("etsc: ECTS needs at least 2 training instances")
-	}
-	if err := train.Validate(); err != nil {
-		return nil, fmt.Errorf("etsc: ECTS: %w", err)
+	if err := ectsValidate(train); err != nil {
+		return nil, err
 	}
 	n := train.Len()
 	L := train.SeriesLen()
@@ -65,27 +63,79 @@ func NewECTS(train *dataset.Dataset, relaxed bool, minSupport int) (*ECTS, error
 				row[j] += d * d
 			}
 		}
-		nl := make([]int32, n)
-		for i := 0; i < n; i++ {
-			best, bestD := -1, math.Inf(1)
-			for j := 0; j < n; j++ {
-				if j == i {
-					continue
-				}
-				var dd float64
-				if i < j {
-					dd = d2[i][j]
-				} else {
-					dd = d2[j][i]
-				}
-				if dd < bestD {
-					best, bestD = j, dd
-				}
+		nn[l] = ectsNearestAt(n, func(i, j int) float64 {
+			if i < j {
+				return d2[i][j]
 			}
-			nl[i] = int32(best)
-		}
-		nn[l] = nl
+			return d2[j][i]
+		})
 	}
+	return ectsFromNN(train, nn, relaxed, minSupport), nil
+}
+
+// NewECTSWith is NewECTS over a shared TrainContext: the per-length
+// pairwise distance sweep — the O(n²·L) bulk of ECTS training — reads the
+// context's memoized prefix-distance matrix (materialized once, in
+// parallel, and shared with every other trainer on the same context), and
+// the per-length nearest-neighbour scans fan across the context's pool.
+// The trained model is byte-identical to NewECTS for any worker count: the
+// matrix stores the exact partial sums the direct loop accumulates, and
+// each length's scan is an independent index-owned unit.
+func NewECTSWith(c *TrainContext, relaxed bool, minSupport int) (*ECTS, error) {
+	train := c.train
+	if err := ectsValidate(train); err != nil {
+		return nil, err
+	}
+	n := train.Len()
+	L := train.SeriesLen()
+	if err := c.m.Ensure(L); err != nil {
+		return nil, err
+	}
+	nn := make([][]int32, L+1)
+	par.Do(L, c.workers, func(k int) {
+		l := k + 1
+		nn[l] = ectsNearestAt(n, func(i, j int) float64 { return c.m.D2(i, j, l) })
+	})
+	return ectsFromNN(train, nn, relaxed, minSupport), nil
+}
+
+func ectsValidate(train *dataset.Dataset) error {
+	if train == nil || train.Len() < 2 {
+		return errors.New("etsc: ECTS needs at least 2 training instances")
+	}
+	if err := train.Validate(); err != nil {
+		return fmt.Errorf("etsc: ECTS: %w", err)
+	}
+	return nil
+}
+
+// ectsNearestAt computes every instance's 1NN at one prefix length from a
+// pairwise squared-distance lookup, scanning candidates in ascending index
+// order with a strict comparison — the tie-breaking both training paths
+// share.
+func ectsNearestAt(n int, d2 func(i, j int) float64) []int32 {
+	nl := make([]int32, n)
+	for i := 0; i < n; i++ {
+		best, bestD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if dd := d2(i, j); dd < bestD {
+				best, bestD = j, dd
+			}
+		}
+		nl[i] = int32(best)
+	}
+	return nl
+}
+
+// ectsFromNN finishes training from the per-length nearest-neighbour table:
+// the RNN stability walk that derives each instance's minimum prediction
+// length.
+func ectsFromNN(train *dataset.Dataset, nn [][]int32, relaxed bool, minSupport int) *ECTS {
+	n := train.Len()
+	L := train.SeriesLen()
 
 	// RNN sets per length, as sorted member lists.
 	rnn := func(l int) [][]int32 {
@@ -142,7 +192,7 @@ func NewECTS(train *dataset.Dataset, relaxed bool, minSupport int) (*ECTS, error
 	}
 
 	return &ECTS{Relaxed: relaxed, MinSupport: minSupport, train: train,
-		refs: seriesRefs(train), mpl: mpl, full: L}, nil
+		refs: seriesRefs(train), mpl: mpl, full: L}
 }
 
 // Name implements EarlyClassifier.

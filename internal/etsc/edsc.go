@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"etsc/internal/dataset"
+	"etsc/internal/par"
 	"etsc/internal/stats"
 	"etsc/internal/ts"
 )
@@ -90,6 +91,21 @@ type EDSC struct {
 
 // NewEDSC mines and selects shapelets from train.
 func NewEDSC(train *dataset.Dataset, cfg EDSCConfig) (*EDSC, error) {
+	return newEDSC(train, cfg, 1)
+}
+
+// NewEDSCWith is NewEDSC over a shared TrainContext. EDSC's training cost
+// is subsequence mining, not prefix distances, so it takes nothing from the
+// memoized matrix; what the context contributes is its worker pool: the
+// candidate-scoring sweep — one independent (source, length, offset) unit
+// per slot — fans across it. Candidates are assembled in enumeration order,
+// so the selected shapelet set is byte-identical to NewEDSC for any worker
+// count.
+func NewEDSCWith(c *TrainContext, cfg EDSCConfig) (*EDSC, error) {
+	return newEDSC(c.train, cfg, c.workers)
+}
+
+func newEDSC(train *dataset.Dataset, cfg EDSCConfig, workers int) (*EDSC, error) {
 	if train == nil || train.Len() < 2 {
 		return nil, errors.New("etsc: EDSC needs at least 2 training instances")
 	}
@@ -118,17 +134,31 @@ func NewEDSC(train *dataset.Dataset, cfg EDSCConfig) (*EDSC, error) {
 	sources := candidateSources(train, cfg.MaxSeries)
 
 	classTotal := train.ClassCounts()
-	var candidates []Shapelet
+	// Enumerate candidate (source, length, offset) triples, then score them
+	// across the pool — each candidate is an independent unit writing its
+	// own slot, and the survivor list is assembled in enumeration order, so
+	// the mined set is identical for every worker count.
+	type candSpec struct{ src, len, start int }
+	var specs []candSpec
 	for _, si := range sources {
-		src := train.Instances[si]
 		for l := cfg.MinLen; l <= cfg.MaxLen; l += cfg.LenStep {
 			for st := 0; st+l <= L; st += cfg.StartStride {
-				cand := src.Series[st : st+l]
-				sh, ok := e.scoreCandidate(cand, src.Label, si, st, classTotal)
-				if ok {
-					candidates = append(candidates, sh)
-				}
+				specs = append(specs, candSpec{si, l, st})
 			}
+		}
+	}
+	scored := make([]Shapelet, len(specs))
+	usable := make([]bool, len(specs))
+	par.Do(len(specs), workers, func(k int) {
+		sp := specs[k]
+		src := train.Instances[sp.src]
+		cand := src.Series[sp.start : sp.start+sp.len]
+		scored[k], usable[k] = e.scoreCandidate(cand, src.Label, sp.src, sp.start, classTotal)
+	})
+	var candidates []Shapelet
+	for k := range specs {
+		if usable[k] {
+			candidates = append(candidates, scored[k])
 		}
 	}
 	if len(candidates) == 0 {

@@ -62,6 +62,16 @@ func DefaultRelClassConfig(pooled bool) RelClassConfig {
 	return RelClassConfig{Tau: 0.1, Pooled: pooled, Samples: 64, MinStd: 0.35, Seed: 5, MinPrefix: 10}
 }
 
+// NewRelClassWith is NewRelClass over a shared TrainContext. RelClass fits
+// per-timestep Gaussians and freezes Monte Carlo draws — an O(n·L) pass
+// with no pairwise-distance component — so it takes nothing from the
+// memoized matrix and delegates to the direct path; the constructor exists
+// so the whole suite trains through one context-driven API. Trivially
+// byte-identical to NewRelClass.
+func NewRelClassWith(c *TrainContext, cfg RelClassConfig) (*RelClass, error) {
+	return NewRelClass(c.train, cfg)
+}
+
 // NewRelClass fits the model to train.
 func NewRelClass(train *dataset.Dataset, cfg RelClassConfig) (*RelClass, error) {
 	if train == nil || train.Len() < 2 {

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"etsc/internal/dataset"
+	"etsc/internal/par"
 	"etsc/internal/stats"
 	"etsc/internal/ts"
 )
@@ -77,11 +78,98 @@ func (g oneClassGate) accept(top, margin float64) bool {
 
 // NewTEASER trains the snapshot classifiers and masters.
 func NewTEASER(train *dataset.Dataset, cfg TEASERConfig) (*TEASER, error) {
+	t, cfg, err := teaserSetup(train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range t.lengths {
+		zn, err := train.Truncate(l, true)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := train.Truncate(l, false)
+		if err != nil {
+			return nil, err
+		}
+		t.znTrain = append(t.znTrain, zn)
+		t.rawTrain = append(t.rawTrain, raw)
+	}
+	t.fitMasters(func(si, i int) (int, float64, float64) {
+		set := t.slaveSet(si)
+		return t.slaveClassifyLOO(si, set.Instances[i].Series, i)
+	}, cfg.GateSigma, 1)
+	return t, nil
+}
+
+// NewTEASERWith is NewTEASER over a shared TrainContext: the per-snapshot
+// truncated training sets come from the context's prefix cache (computed
+// once and shared with every trainer that touches the same lengths), and
+// the per-snapshot leave-one-out slave scans — the dominant
+// O(snapshots·n²·l) training cost — read the memoized prefix-distance
+// matrix (z-normalized flavor under the published footnote-2 setting, raw
+// under the counterfactual) and fan across the context's pool. The trained
+// model is byte-identical to NewTEASER for any worker count: matrix entries
+// equal the direct SquaredEuclidean over the same cached prefixes, and the
+// gate statistics are assembled in instance order.
+func NewTEASERWith(c *TrainContext, cfg TEASERConfig) (*TEASER, error) {
+	t, cfg, err := teaserSetup(c.train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range t.lengths {
+		zn, err := c.Prefixes(l, true)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := c.Prefixes(l, false)
+		if err != nil {
+			return nil, err
+		}
+		t.znTrain = append(t.znTrain, zn)
+		t.rawTrain = append(t.rawTrain, raw)
+	}
+	for _, l := range t.lengths {
+		if t.ZNormPrefix {
+			err = c.m.EnsureZNorm(l)
+		} else {
+			err = c.m.Ensure(l)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	t.fitMasters(func(si, i int) (int, float64, float64) {
+		l := t.lengths[si]
+		set := t.slaveSet(si)
+		nearest := map[int]float64{}
+		for j, in := range set.Instances {
+			if j == i {
+				continue
+			}
+			var d2 float64
+			if t.ZNormPrefix {
+				d2 = c.m.ZNormD2(i, j, l)
+			} else {
+				d2 = c.m.D2(i, j, l)
+			}
+			d := math.Sqrt(d2)
+			if cur, ok := nearest[in.Label]; !ok || d < cur {
+				nearest[in.Label] = d
+			}
+		}
+		return nearestTopMargin(nearest)
+	}, cfg.GateSigma, c.workers)
+	return t, nil
+}
+
+// teaserSetup validates the configuration and builds the untrained model
+// with its snapshot lengths.
+func teaserSetup(train *dataset.Dataset, cfg TEASERConfig) (*TEASER, TEASERConfig, error) {
 	if train == nil || train.Len() < 2 {
-		return nil, errors.New("etsc: TEASER needs at least 2 training instances")
+		return nil, cfg, errors.New("etsc: TEASER needs at least 2 training instances")
 	}
 	if err := train.Validate(); err != nil {
-		return nil, fmt.Errorf("etsc: TEASER: %w", err)
+		return nil, cfg, fmt.Errorf("etsc: TEASER: %w", err)
 	}
 	if cfg.Snapshots < 2 {
 		cfg.Snapshots = 2
@@ -110,30 +198,33 @@ func NewTEASER(train *dataset.Dataset, cfg TEASERConfig) (*TEASER, error) {
 		}
 		t.lengths = append(t.lengths, l)
 	}
-	for _, l := range t.lengths {
-		zn, err := train.Truncate(l, true)
-		if err != nil {
-			return nil, err
-		}
-		raw, err := train.Truncate(l, false)
-		if err != nil {
-			return nil, err
-		}
-		t.znTrain = append(t.znTrain, zn)
-		t.rawTrain = append(t.rawTrain, raw)
-	}
+	return t, cfg, nil
+}
 
-	// Train one master per snapshot from leave-one-out posteriors of the
-	// slave on training prefixes, keeping only the correct predictions.
+// fitMasters trains one master per snapshot from leave-one-out posteriors
+// of the slave on training prefixes, keeping only the correct predictions.
+// loo(si, i) must return the slave's (label, top, margin) for training
+// instance i at snapshot si with i excluded; calls for distinct i are
+// fanned across the pool, and the gate statistics are assembled in instance
+// order so the fit is identical for every worker count.
+func (t *TEASER) fitMasters(loo func(si, i int) (int, float64, float64), sigma float64, workers int) {
 	t.masters = make([]oneClassGate, len(t.lengths))
+	type looResult struct {
+		label       int
+		top, margin float64
+	}
 	for si := range t.lengths {
-		var tops, margins []float64
 		set := t.slaveSet(si)
+		results := make([]looResult, set.Len())
+		par.Do(set.Len(), workers, func(i int) {
+			label, top, margin := loo(si, i)
+			results[i] = looResult{label, top, margin}
+		})
+		var tops, margins []float64
 		for i, in := range set.Instances {
-			label, top, margin := t.slaveClassifyLOO(si, in.Series, i)
-			if label == in.Label {
-				tops = append(tops, top)
-				margins = append(margins, margin)
+			if results[i].label == in.Label {
+				tops = append(tops, results[i].top)
+				margins = append(margins, results[i].margin)
 			}
 		}
 		if len(tops) < 2 {
@@ -145,11 +236,10 @@ func NewTEASER(train *dataset.Dataset, cfg TEASERConfig) (*TEASER, error) {
 		g := oneClassGate{
 			meanTop: rt.Mean(), stdTop: math.Max(rt.Std(), 0.02),
 			meanMargin: rm.Mean(), stdMargin: math.Max(rm.Std(), 0.02),
-			sigma: cfg.GateSigma, trained: true,
+			sigma: sigma, trained: true,
 		}
 		t.masters[si] = g
 	}
-	return t, nil
 }
 
 func (t *TEASER) slaveSet(si int) *dataset.Dataset {
@@ -174,32 +264,43 @@ func (t *TEASER) slavePosterior(si int, prepared []float64, skip int) (label int
 			nearest[in.Label] = d
 		}
 	}
+	return nearestTopMargin(nearest)
+}
+
+// nearestTopMargin converts per-class nearest distances into the slave's
+// softmin decision: the MAP label, its probability, and the top-two margin.
+// It is the shared tail of the direct scan and the matrix-backed LOO path,
+// so both feed identical distances through identical arithmetic. Labels
+// are reduced in sorted order (not randomized map order) so the sums are
+// bit-reproducible and exact probability ties break toward the smallest
+// label in both paths.
+func nearestTopMargin(nearest map[int]float64) (label int, top, margin float64) {
 	if len(nearest) == 0 {
 		return 0, 0, 0
 	}
+	labels := sortedLabels(nearest)
 	mean := 0.0
-	for _, d := range nearest {
-		mean += d
+	for _, lab := range labels {
+		mean += nearest[lab]
 	}
 	mean /= float64(len(nearest))
 	if mean < 1e-12 {
 		mean = 1e-12
 	}
 	sum := 0.0
-	probs := make(map[int]float64, len(nearest))
-	for lab, d := range nearest {
-		p := math.Exp(-d / mean)
-		probs[lab] = p
+	probs := make([]float64, len(labels))
+	for li, lab := range labels {
+		p := math.Exp(-nearest[lab] / mean)
+		probs[li] = p
 		sum += p
 	}
 	best, second := 0.0, 0.0
-	for lab, p := range probs {
+	for li, p := range probs {
 		p /= sum
-		probs[lab] = p
 		if p > best {
 			second = best
 			best = p
-			label = lab
+			label = labels[li]
 		} else if p > second {
 			second = p
 		}

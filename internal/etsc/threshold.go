@@ -56,6 +56,15 @@ func NewProbThreshold(train *dataset.Dataset, threshold float64, minPrefix int) 
 	}, nil
 }
 
+// NewProbThresholdWith is NewProbThreshold over a shared TrainContext.
+// ProbThreshold has no training-time computation beyond caching the label
+// set, so it takes nothing from the memoized matrix and delegates to the
+// direct path; the constructor exists so the whole suite trains through one
+// context-driven API. Trivially byte-identical to NewProbThreshold.
+func NewProbThresholdWith(c *TrainContext, threshold float64, minPrefix int) (*ProbThreshold, error) {
+	return NewProbThreshold(c.train, threshold, minPrefix)
+}
+
 // Name implements EarlyClassifier.
 func (p *ProbThreshold) Name() string {
 	return fmt.Sprintf("ProbThreshold(%.2f)", p.Threshold)
@@ -155,6 +164,27 @@ func NewFixedPrefix(train *dataset.Dataset, at int, znorm bool) (*FixedPrefix, e
 		return nil, fmt.Errorf("etsc: FixedPrefix length %d out of range 1..%d", at, train.SeriesLen())
 	}
 	pre, err := train.Truncate(at, znorm)
+	if err != nil {
+		return nil, err
+	}
+	return &FixedPrefix{At: at, ZNorm: znorm, train: train, prefix: pre, full: train.SeriesLen()}, nil
+}
+
+// NewFixedPrefixWith is NewFixedPrefix over a shared TrainContext: the
+// prepared training prefixes come from the context's truncation cache, so
+// N FixedPrefix models at the same decision length (the hub's warm-start
+// shape) share one prepared set instead of truncating and re-normalizing N
+// times. Byte-identical to NewFixedPrefix: the cache stores exactly
+// train.Truncate's output.
+func NewFixedPrefixWith(c *TrainContext, at int, znorm bool) (*FixedPrefix, error) {
+	train := c.train
+	if train.Len() == 0 {
+		return nil, errors.New("etsc: FixedPrefix needs training data")
+	}
+	if at < 1 || at > train.SeriesLen() {
+		return nil, fmt.Errorf("etsc: FixedPrefix length %d out of range 1..%d", at, train.SeriesLen())
+	}
+	pre, err := c.Prefixes(at, znorm)
 	if err != nil {
 		return nil, err
 	}

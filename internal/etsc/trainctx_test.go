@@ -1,0 +1,207 @@
+package etsc
+
+import (
+	"runtime"
+	"testing"
+
+	"etsc/internal/dataset"
+)
+
+// trainerPair names one algorithm with its direct and context-driven
+// training paths. The battery requires the two to produce models whose
+// decisions are identical — prefix for prefix, instance for instance.
+type trainerPair struct {
+	name   string
+	direct func(train *dataset.Dataset) (EarlyClassifier, error)
+	with   func(c *TrainContext) (EarlyClassifier, error)
+}
+
+// trainerPairs covers every algorithm in the package, including the
+// variants whose training paths differ (relaxed ECTS, the KDE threshold
+// learner, pooled RelClass, raw-prefix TEASER).
+func trainerPairs() []trainerPair {
+	rawTeaser := DefaultTEASERConfig()
+	rawTeaser.ZNormPrefix = false
+	return []trainerPair{
+		{"ECTS",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewECTS(d, false, 0) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewECTSWith(c, false, 0) }},
+		{"RelaxedECTS",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewECTS(d, true, 1) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewECTSWith(c, true, 1) }},
+		{"EDSC-CHE",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewEDSC(d, batteryEDSCConfig(CHE, d)) },
+			func(c *TrainContext) (EarlyClassifier, error) {
+				return NewEDSCWith(c, batteryEDSCConfig(CHE, c.Train()))
+			}},
+		{"EDSC-KDE",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewEDSC(d, batteryEDSCConfig(KDE, d)) },
+			func(c *TrainContext) (EarlyClassifier, error) {
+				return NewEDSCWith(c, batteryEDSCConfig(KDE, c.Train()))
+			}},
+		{"RelClass",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewRelClass(d, DefaultRelClassConfig(false)) },
+			func(c *TrainContext) (EarlyClassifier, error) {
+				return NewRelClassWith(c, DefaultRelClassConfig(false))
+			}},
+		{"LDG-RelClass",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewRelClass(d, DefaultRelClassConfig(true)) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewRelClassWith(c, DefaultRelClassConfig(true)) }},
+		{"ECDIRE",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewECDIRE(d, DefaultECDIREConfig()) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewECDIREWith(c, DefaultECDIREConfig()) }},
+		{"TEASER",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewTEASER(d, DefaultTEASERConfig()) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewTEASERWith(c, DefaultTEASERConfig()) }},
+		{"TEASER-raw",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewTEASER(d, rawTeaser) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewTEASERWith(c, rawTeaser) }},
+		{"ProbThreshold",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewProbThreshold(d, 0.8, 5) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewProbThresholdWith(c, 0.8, 5) }},
+		{"FixedPrefix",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewFixedPrefix(d, 20, true) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewFixedPrefixWith(c, 20, true) }},
+		{"CostAware",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewCostAware(d, DefaultCostAwareConfig()) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewCostAwareWith(c, DefaultCostAwareConfig()) }},
+	}
+}
+
+// batteryEDSCConfig sizes EDSC's candidate lengths to the dataset so the
+// same pair definition runs on both battery datasets.
+func batteryEDSCConfig(m ThresholdMethod, d *dataset.Dataset) EDSCConfig {
+	cfg := DefaultEDSCConfig(m)
+	if d.SeriesLen() < cfg.MaxLen {
+		cfg.MinLen = 10
+		cfg.MaxLen = 30
+	}
+	return cfg
+}
+
+// TestTrainEquivalenceBattery is the train path's core property: for every
+// algorithm, training through a shared TrainContext — memoized distance
+// matrix, shared prefix cache, parallel fan-out — produces a model whose
+// decisions agree with the direct New* path prefix-for-prefix, for workers
+// ∈ {1, 4, GOMAXPROCS}. One context is shared by all trainers per
+// (dataset, workers) cell, so cross-trainer cache reuse is under test too.
+func TestTrainEquivalenceBattery(t *testing.T) {
+	type split struct {
+		name        string
+		train, test *dataset.Dataset
+	}
+	eTrain, eTest := easySplit(t)
+	gTrain, gTest := smallGunPointSplit(t)
+	splits := []split{{"easy", eTrain, eTest}, {"gunpoint", gTrain, gTest}}
+	pairs := trainerPairs()
+
+	for _, sp := range splits {
+		// Direct models, trained once per dataset.
+		direct := make([]EarlyClassifier, len(pairs))
+		for pi, p := range pairs {
+			c, err := p.direct(sp.train)
+			if err != nil {
+				t.Fatalf("%s/%s direct: %v", sp.name, p.name, err)
+			}
+			direct[pi] = c
+		}
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			ctx, err := NewTrainContext(sp.train, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pi, p := range pairs {
+				got, err := p.with(ctx)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d with: %v", sp.name, p.name, workers, err)
+				}
+				assertSameDecisions(t, sp.name, p.name, workers, direct[pi], got, sp.test)
+			}
+		}
+	}
+}
+
+// assertSameDecisions compares two models decision-for-decision: the full
+// per-length ClassifyPrefix transcript on a few exemplars, and the RunOne
+// commitment point (label, length, forced) on every test exemplar.
+func assertSameDecisions(t *testing.T, ds, name string, workers int, want, got EarlyClassifier, test *dataset.Dataset) {
+	t.Helper()
+	if want.FullLength() != got.FullLength() {
+		t.Fatalf("%s/%s workers=%d: full length %d != %d", ds, name, workers, got.FullLength(), want.FullLength())
+	}
+	full := want.FullLength()
+	for i, in := range test.Instances {
+		if i < 2 {
+			for l := 1; l <= full; l++ {
+				dw := want.ClassifyPrefix(in.Series[:l])
+				dg := got.ClassifyPrefix(in.Series[:l])
+				if dw != dg {
+					t.Fatalf("%s/%s workers=%d instance %d length %d: direct %+v != context %+v",
+						ds, name, workers, i, l, dw, dg)
+				}
+			}
+		}
+		wl, wn, wf := RunOne(want, in.Series, 4)
+		gl, gn, gf := RunOne(got, in.Series, 4)
+		if wl != gl || wn != gn || wf != gf {
+			t.Fatalf("%s/%s workers=%d instance %d: direct (label=%d len=%d forced=%v) != context (label=%d len=%d forced=%v)",
+				ds, name, workers, i, wl, wn, wf, gl, gn, gf)
+		}
+	}
+}
+
+// TestTrainContextValidation covers the constructor's input checks.
+func TestTrainContextValidation(t *testing.T) {
+	if _, err := NewTrainContext(nil, 0); err == nil {
+		t.Error("nil train accepted")
+	}
+	if _, err := NewTrainContext(&dataset.Dataset{}, 0); err == nil {
+		t.Error("empty train accepted")
+	}
+}
+
+// TestTrainContextPrefixesCached pins the cache contract: repeated Prefixes
+// calls return the same shared dataset, equal to a direct Truncate, and
+// invalid lengths surface Truncate's error.
+func TestTrainContextPrefixesCached(t *testing.T) {
+	train, _ := easySplit(t)
+	ctx, err := NewTrainContext(train, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctx.Prefixes(20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Prefixes(20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Prefixes(20, true) not cached: distinct datasets returned")
+	}
+	want, err := train.Truncate(20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Instances {
+		for j := range want.Instances[i].Series {
+			if a.Instances[i].Series[j] != want.Instances[i].Series[j] {
+				t.Fatalf("cached prefix differs from Truncate at instance %d point %d", i, j)
+			}
+		}
+	}
+	raw, err := ctx.Prefixes(20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw == a {
+		t.Error("raw and renormalized prefixes share a cache entry")
+	}
+	if _, err := ctx.Prefixes(0, true); err == nil {
+		t.Error("Prefixes(0) accepted")
+	}
+	if ctx.Train() != train || ctx.Workers() != 2 || ctx.Matrix() == nil {
+		t.Error("accessor contract broken")
+	}
+}

@@ -29,6 +29,14 @@ type Config struct {
 	// Results are identical for every value (see DESIGN.md): the knob
 	// trades wall-clock time only, so reproducibility is unaffected.
 	Parallelism int
+	// TrainCache, when true, trains the algorithm suites through a shared
+	// etsc.TrainContext — one memoized prefix-distance matrix and prefix
+	// cache per training set, materialized in parallel (Parallelism) and
+	// reused across every trainer — instead of letting each New* call
+	// recompute its own distances. The trained models, and therefore every
+	// rendered table, are identical either way (the train-equivalence
+	// battery pins this); the flag trades training wall-clock time only.
+	TrainCache bool
 }
 
 // DefaultConfig returns the full-size configuration used for

@@ -47,20 +47,48 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		step = 4
 	}
 
-	type build struct {
-		flawed bool
-		make   func() (etsc.EarlyClassifier, error)
+	// With cfg.TrainCache the suite trains through one shared context —
+	// every trainer reads the same memoized prefix-distance matrix and
+	// prefix cache — otherwise each New* call recomputes its own distances.
+	// The models, and therefore the table, are identical either way.
+	tc, err := trainContext(cfg, train)
+	if err != nil {
+		return nil, err
 	}
-	builds := []build{
-		{true, func() (etsc.EarlyClassifier, error) { return etsc.NewECTS(train, false, 0) }},
-		{true, func() (etsc.EarlyClassifier, error) { return etsc.NewECTS(train, true, 0) }},
-		{true, func() (etsc.EarlyClassifier, error) { return etsc.NewEDSC(train, etsc.DefaultEDSCConfig(etsc.CHE)) }},
-		{true, func() (etsc.EarlyClassifier, error) { return etsc.NewEDSC(train, etsc.DefaultEDSCConfig(etsc.KDE)) }},
-		{true, func() (etsc.EarlyClassifier, error) {
-			return etsc.NewRelClass(train, etsc.DefaultRelClassConfig(false))
-		}},
-		{true, func() (etsc.EarlyClassifier, error) { return etsc.NewRelClass(train, etsc.DefaultRelClassConfig(true)) }},
-		{false, func() (etsc.EarlyClassifier, error) { return etsc.NewTEASER(train, etsc.DefaultTEASERConfig()) }},
+	builds := []suiteBuild{
+		{true,
+			func() (etsc.EarlyClassifier, error) { return etsc.NewECTS(train, false, 0) },
+			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) { return etsc.NewECTSWith(tc, false, 0) }},
+		{true,
+			func() (etsc.EarlyClassifier, error) { return etsc.NewECTS(train, true, 0) },
+			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) { return etsc.NewECTSWith(tc, true, 0) }},
+		{true,
+			func() (etsc.EarlyClassifier, error) { return etsc.NewEDSC(train, etsc.DefaultEDSCConfig(etsc.CHE)) },
+			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
+				return etsc.NewEDSCWith(tc, etsc.DefaultEDSCConfig(etsc.CHE))
+			}},
+		{true,
+			func() (etsc.EarlyClassifier, error) { return etsc.NewEDSC(train, etsc.DefaultEDSCConfig(etsc.KDE)) },
+			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
+				return etsc.NewEDSCWith(tc, etsc.DefaultEDSCConfig(etsc.KDE))
+			}},
+		{true,
+			func() (etsc.EarlyClassifier, error) {
+				return etsc.NewRelClass(train, etsc.DefaultRelClassConfig(false))
+			},
+			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
+				return etsc.NewRelClassWith(tc, etsc.DefaultRelClassConfig(false))
+			}},
+		{true,
+			func() (etsc.EarlyClassifier, error) { return etsc.NewRelClass(train, etsc.DefaultRelClassConfig(true)) },
+			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
+				return etsc.NewRelClassWith(tc, etsc.DefaultRelClassConfig(true))
+			}},
+		{false,
+			func() (etsc.EarlyClassifier, error) { return etsc.NewTEASER(train, etsc.DefaultTEASERConfig()) },
+			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
+				return etsc.NewTEASERWith(tc, etsc.DefaultTEASERConfig())
+			}},
 	}
 
 	res := &Table1Result{MaxShift: maxShift}
@@ -72,7 +100,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 	}
 
 	for _, b := range builds {
-		c, err := b.make()
+		c, err := b.train(tc)
 		if err != nil {
 			return nil, err
 		}
@@ -127,6 +155,32 @@ func (r *Table1Result) Table() string {
 		rows,
 	))
 	return b.String()
+}
+
+// trainContext returns the shared training context when cfg asks for one
+// (nil otherwise — the direct-training sentinel suiteBuild.train checks).
+func trainContext(cfg Config, train *dataset.Dataset) (*etsc.TrainContext, error) {
+	if !cfg.TrainCache {
+		return nil, nil
+	}
+	return etsc.NewTrainContext(train, cfg.Parallelism)
+}
+
+// suiteBuild is one algorithm of a Table 1 suite with both training paths.
+type suiteBuild struct {
+	flawed bool
+	direct func() (etsc.EarlyClassifier, error)
+	shared func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error)
+}
+
+// train picks the path: shared context when one was built, direct
+// otherwise. Models are identical either way (the etsc train-equivalence
+// battery and TestTable1TrainCacheIdentical pin this).
+func (b suiteBuild) train(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
+	if tc != nil {
+		return b.shared(tc)
+	}
+	return b.direct()
 }
 
 // gunPointSplit builds the standard GunPoint-like train/test split used by

@@ -37,23 +37,42 @@ func RunTable1Extended(cfg Config) (*Table1ExtResult, error) {
 	const maxShift = 1.0
 	const step = 2
 
-	type build struct {
-		flawed bool
-		make   func() (etsc.EarlyClassifier, error)
+	// Same shared-context option as RunTable1: identical models either way.
+	tc, err := trainContext(cfg, train)
+	if err != nil {
+		return nil, err
 	}
 	rawTeaser := etsc.DefaultTEASERConfig()
 	rawTeaser.ZNormPrefix = false
-	builds := []build{
-		{true, func() (etsc.EarlyClassifier, error) { return etsc.NewProbThreshold(train, 0.8, 10) }},
-		{true, func() (etsc.EarlyClassifier, error) { return etsc.NewCostAware(train, etsc.DefaultCostAwareConfig()) }},
-		{true, func() (etsc.EarlyClassifier, error) { return etsc.NewECDIRE(train, etsc.DefaultECDIREConfig()) }},
-		{true, func() (etsc.EarlyClassifier, error) { return etsc.NewTEASER(train, rawTeaser) }},
-		{false, func() (etsc.EarlyClassifier, error) { return etsc.NewTEASER(train, etsc.DefaultTEASERConfig()) }},
+	builds := []suiteBuild{
+		{true,
+			func() (etsc.EarlyClassifier, error) { return etsc.NewProbThreshold(train, 0.8, 10) },
+			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
+				return etsc.NewProbThresholdWith(tc, 0.8, 10)
+			}},
+		{true,
+			func() (etsc.EarlyClassifier, error) { return etsc.NewCostAware(train, etsc.DefaultCostAwareConfig()) },
+			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
+				return etsc.NewCostAwareWith(tc, etsc.DefaultCostAwareConfig())
+			}},
+		{true,
+			func() (etsc.EarlyClassifier, error) { return etsc.NewECDIRE(train, etsc.DefaultECDIREConfig()) },
+			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
+				return etsc.NewECDIREWith(tc, etsc.DefaultECDIREConfig())
+			}},
+		{true,
+			func() (etsc.EarlyClassifier, error) { return etsc.NewTEASER(train, rawTeaser) },
+			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) { return etsc.NewTEASERWith(tc, rawTeaser) }},
+		{false,
+			func() (etsc.EarlyClassifier, error) { return etsc.NewTEASER(train, etsc.DefaultTEASERConfig()) },
+			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
+				return etsc.NewTEASERWith(tc, etsc.DefaultTEASERConfig())
+			}},
 	}
 
 	res := &Table1ExtResult{MaxShift: maxShift}
 	for _, b := range builds {
-		c, err := b.make()
+		c, err := b.train(tc)
 		if err != nil {
 			return nil, err
 		}

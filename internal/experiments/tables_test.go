@@ -33,6 +33,31 @@ func TestTable1Rendering(t *testing.T) {
 	}
 }
 
+// TestTable1TrainCacheIdentical pins the -traincache contract end to end:
+// training the Table 1 suite through a shared TrainContext must change
+// nothing in the measured result — not one accuracy or earliness figure.
+func TestTable1TrainCacheIdentical(t *testing.T) {
+	direct, err := RunTable1(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuickConfig()
+	cfg.TrainCache = true
+	cached, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Rows) != len(cached.Rows) {
+		t.Fatalf("row count %d != %d", len(cached.Rows), len(direct.Rows))
+	}
+	for i := range direct.Rows {
+		if direct.Rows[i] != cached.Rows[i] {
+			t.Errorf("row %d differs with TrainCache:\n direct %+v\n cached %+v",
+				i, direct.Rows[i], cached.Rows[i])
+		}
+	}
+}
+
 func TestFig2Rendering(t *testing.T) {
 	r, err := RunFig2(QuickConfig())
 	if err != nil {

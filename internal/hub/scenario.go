@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"etsc/internal/dataset"
 	"etsc/internal/etsc"
+	"etsc/internal/par"
 	"etsc/internal/stream"
 	"etsc/internal/synth"
 	"etsc/internal/ts"
@@ -31,6 +33,35 @@ var demoVocab = []string{"cat", "dog", "cattle", "catalog", "catholic", "dogmati
 
 const demoWordLen = 44
 
+// trainMode selects how a kind's detector is trained: directly (the legacy
+// New* path) or through a shared etsc.TrainContext over the kind's training
+// set. The detectors are byte-identical either way (the etsc
+// train-equivalence battery pins the trainers; TestDemoKindsSharedMatches
+// pins the kinds end to end) — shared training only changes wall-clock
+// time, which is what warm-start is for: N streams of a kind always train
+// its detector once, and with the context that one training is memoized
+// and parallel too.
+type trainMode struct {
+	shared  bool
+	workers int
+}
+
+// trainVia trains one kind's detector through the mode: the direct
+// constructor, or the context-driven one over a fresh shared TrainContext
+// for the kind's training set when warm-starting.
+func trainVia[T etsc.EarlyClassifier](tm trainMode, train *dataset.Dataset,
+	direct func() (T, error), with func(*etsc.TrainContext) (T, error)) (T, error) {
+	if !tm.shared {
+		return direct()
+	}
+	ctx, err := etsc.NewTrainContext(train, tm.workers)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return with(ctx)
+}
+
 // DemoKinds trains the three demo stream kinds:
 //
 //   - words: TEASER cat/dog model with an NN verifier over continuous
@@ -40,27 +71,54 @@ const demoWordLen = 44
 //   - chicken: fixed-prefix dustbathing-onset model over backpack
 //     accelerometer telemetry (the Fig. 8 setting).
 func DemoKinds(seed int64) ([]Kind, error) {
-	words, err := wordsKind(seed)
-	if err != nil {
-		return nil, err
-	}
-	gunpoint, err := gunpointKind(seed + 1)
-	if err != nil {
-		return nil, err
-	}
-	chicken, err := chickenKind(seed + 2)
-	if err != nil {
-		return nil, err
-	}
-	return []Kind{words, gunpoint, chicken}, nil
+	return demoKinds(seed, trainMode{})
 }
 
-func wordsKind(seed int64) (Kind, error) {
+// DemoKindsShared is DemoKinds with warm-start training: each kind's
+// detector trains through a shared TrainContext (memoized prefix distances,
+// parallel fan-out across workers), and the three kinds train concurrently.
+// The kinds, their pipelines, and every downstream transcript are identical
+// to DemoKinds; only training wall-clock changes. cmd/etsc-serve exposes it
+// as -traincache.
+func DemoKindsShared(seed int64, workers int) ([]Kind, error) {
+	return demoKinds(seed, trainMode{shared: true, workers: workers})
+}
+
+func demoKinds(seed int64, tm trainMode) ([]Kind, error) {
+	builders := []func() (Kind, error){
+		func() (Kind, error) { return wordsKind(seed, tm) },
+		func() (Kind, error) { return gunpointKind(seed+1, tm) },
+		func() (Kind, error) { return chickenKind(seed+2, tm) },
+	}
+	kinds := make([]Kind, len(builders))
+	errs := make([]error, len(builders))
+	workers := 1
+	if tm.shared {
+		// Kinds are independent (own dataset, own context); train them
+		// concurrently, each slot index-owned.
+		workers = len(builders)
+	}
+	par.Do(len(builders), workers, func(i int) {
+		kinds[i], errs[i] = builders[i]()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return kinds, nil
+}
+
+func wordsKind(seed int64, tm trainMode) (Kind, error) {
 	train, err := synth.WordDataset(synth.NewRand(seed), []string{"cat", "dog"}, 20, demoWordLen, synth.DefaultWordConfig())
 	if err != nil {
 		return Kind{}, err
 	}
-	clf, err := etsc.NewTEASER(train, etsc.DefaultTEASERConfig())
+	clf, err := trainVia(tm, train,
+		func() (*etsc.TEASER, error) { return etsc.NewTEASER(train, etsc.DefaultTEASERConfig()) },
+		func(ctx *etsc.TrainContext) (*etsc.TEASER, error) {
+			return etsc.NewTEASERWith(ctx, etsc.DefaultTEASERConfig())
+		})
 	if err != nil {
 		return Kind{}, err
 	}
@@ -90,7 +148,7 @@ func wordsKind(seed int64) (Kind, error) {
 	}, nil
 }
 
-func gunpointKind(seed int64) (Kind, error) {
+func gunpointKind(seed int64, tm trainMode) (Kind, error) {
 	cfg := synth.DefaultGunPointConfig()
 	cfg.PerClassSize = 20
 	d, err := synth.GunPoint(synth.NewRand(seed), cfg)
@@ -101,7 +159,11 @@ func gunpointKind(seed int64) (Kind, error) {
 	if err != nil {
 		return Kind{}, err
 	}
-	clf, err := etsc.NewProbThreshold(train, 0.9, 20)
+	clf, err := trainVia(tm, train,
+		func() (*etsc.ProbThreshold, error) { return etsc.NewProbThreshold(train, 0.9, 20) },
+		func(ctx *etsc.TrainContext) (*etsc.ProbThreshold, error) {
+			return etsc.NewProbThresholdWith(ctx, 0.9, 20)
+		})
 	if err != nil {
 		return Kind{}, err
 	}
@@ -137,13 +199,19 @@ func gunpointKind(seed int64) (Kind, error) {
 	}, nil
 }
 
-func chickenKind(seed int64) (Kind, error) {
+func chickenKind(seed int64, tm trainMode) (Kind, error) {
 	ccfg := synth.DefaultChickenConfig()
 	train, err := synth.ChickenWindowDataset(synth.NewRand(seed), ccfg, 12, synth.DustbathingTemplateLen)
 	if err != nil {
 		return Kind{}, err
 	}
-	clf, err := etsc.NewFixedPrefix(train, synth.DustbathingTemplateLen/2, true)
+	clf, err := trainVia(tm, train,
+		func() (*etsc.FixedPrefix, error) {
+			return etsc.NewFixedPrefix(train, synth.DustbathingTemplateLen/2, true)
+		},
+		func(ctx *etsc.TrainContext) (*etsc.FixedPrefix, error) {
+			return etsc.NewFixedPrefixWith(ctx, synth.DustbathingTemplateLen/2, true)
+		})
 	if err != nil {
 		return Kind{}, err
 	}

@@ -1,0 +1,206 @@
+package ts
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func matrixRefs(seed int64, n, l int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	refs := make([][]float64, n)
+	for i := range refs {
+		s := make([]float64, l)
+		for t := range s {
+			s[t] = rng.NormFloat64()*2 + math.Sin(float64(t)/7)
+		}
+		refs[i] = s
+	}
+	return refs
+}
+
+// fromScratchRawD2 is the reference the matrix must match bit-for-bit: the
+// in-order accumulation every direct training loop in this repository runs.
+func fromScratchRawD2(a, b []float64, l int) float64 {
+	d := 0.0
+	for t := 0; t < l; t++ {
+		diff := a[t] - b[t]
+		d += diff * diff
+	}
+	return d
+}
+
+// TestPrefixDistMatrixMatchesFromScratch pins both flavors, at every length
+// and pair, to the from-scratch computation — exactly, not within a
+// tolerance — for workers 1, 4, and GOMAXPROCS, with the raw tensor grown
+// in several Ensure increments to exercise the lazy path.
+func TestPrefixDistMatrixMatchesFromScratch(t *testing.T) {
+	const n, L = 9, 37
+	refs := matrixRefs(3, n, L)
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		m, err := NewPrefixDistMatrix(refs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Grow raw materialization incrementally: 5, then 20, then L.
+		for _, upTo := range []int{5, 20, L} {
+			if err := m.Ensure(upTo); err != nil {
+				t.Fatal(err)
+			}
+			if m.BuiltLen() != upTo {
+				t.Fatalf("BuiltLen = %d, want %d", m.BuiltLen(), upTo)
+			}
+		}
+		for _, l := range []int{1, 2, 5, 20, 36, L} {
+			if err := m.EnsureZNorm(l); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					want := fromScratchRawD2(refs[i], refs[j], l)
+					if i == j {
+						want = 0
+					}
+					if got := m.D2(i, j, l); got != want {
+						t.Fatalf("workers=%d raw D2(%d,%d,%d) = %v, want %v", workers, i, j, l, got, want)
+					}
+					wantZ := SquaredEuclidean(ZNorm(refs[i][:l]), ZNorm(refs[j][:l]))
+					if i == j {
+						wantZ = 0
+					}
+					if got := m.ZNormD2(i, j, l); got != wantZ {
+						t.Fatalf("workers=%d znorm D2(%d,%d,%d) = %v, want %v", workers, i, j, l, got, wantZ)
+					}
+				}
+			}
+		}
+		// Length 0 is the empty prefix.
+		if got := m.D2(0, 1, 0); got != 0 {
+			t.Fatalf("D2 at length 0 = %v", got)
+		}
+	}
+}
+
+// TestPrefixDistMatrixValidation covers the constructor's shape rejections
+// and the Ensure range checks.
+func TestPrefixDistMatrixValidation(t *testing.T) {
+	if _, err := NewPrefixDistMatrix(nil, 1); err == nil {
+		t.Error("empty reference set accepted")
+	}
+	if _, err := NewPrefixDistMatrix([][]float64{{}}, 1); err == nil {
+		t.Error("zero-length reference accepted")
+	}
+	if _, err := NewPrefixDistMatrix([][]float64{{1, 2}, {1, 2, 3}}, 1); err == nil {
+		t.Error("ragged references accepted")
+	}
+	m, err := NewPrefixDistMatrix([][]float64{{1, 2, 3}, {4, 5, 6}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ensure(4); err == nil {
+		t.Error("Ensure beyond MaxLen accepted")
+	}
+	if err := m.Ensure(-1); err == nil {
+		t.Error("negative Ensure accepted")
+	}
+	if err := m.EnsureZNorm(0); err == nil {
+		t.Error("EnsureZNorm(0) accepted")
+	}
+	if err := m.EnsureZNorm(4); err == nil {
+		t.Error("EnsureZNorm beyond MaxLen accepted")
+	}
+	if m.Size() != 2 || m.MaxLen() != 3 {
+		t.Errorf("Size/MaxLen = %d/%d", m.Size(), m.MaxLen())
+	}
+}
+
+// TestPrefixDistMatrixPanicsUnmaterialized pins the protocol: reading a
+// length that was never ensured is a programming error, not a silent zero.
+func TestPrefixDistMatrixPanicsUnmaterialized(t *testing.T) {
+	m, err := NewPrefixDistMatrix(matrixRefs(1, 3, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]func(){
+		"raw":   func() { m.D2(0, 1, 5) },
+		"znorm": func() { m.ZNormD2(0, 1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on unmaterialized read", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// FuzzPrefixDistMatrix drives random (NaN/Inf-free) reference sets through
+// both flavors and cross-checks every entry against the from-scratch
+// ts.SquaredEuclidean computation, plus ragged-length rejection when the
+// fuzzer produces an uneven tail.
+func FuzzPrefixDistMatrix(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(11), uint8(1))
+	f.Add(int64(7), uint8(2), uint8(1), uint8(4))
+	f.Add(int64(99), uint8(6), uint8(23), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, lRaw, workersRaw uint8) {
+		n := 2 + int(nRaw)%7  // 2..8 series
+		l := 1 + int(lRaw)%31 // 1..31 points
+		workers := int(workersRaw) % 5
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([][]float64, n)
+		for i := range refs {
+			s := make([]float64, l)
+			for t := range s {
+				// Mix of scales, always finite.
+				s[t] = (rng.Float64()*2 - 1) * math.Pow(10, float64(rng.Intn(5)-2))
+			}
+			refs[i] = s
+		}
+
+		// Ragged rejection: chop the last series by one point when possible.
+		if l > 1 {
+			ragged := append([][]float64{}, refs...)
+			ragged[n-1] = refs[n-1][:l-1]
+			if _, err := NewPrefixDistMatrix(ragged, workers); err == nil {
+				t.Fatal("ragged reference set accepted")
+			}
+		}
+
+		m, err := NewPrefixDistMatrix(refs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Materialize in two increments to cover the lazy path.
+		if err := m.Ensure(l / 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Ensure(l); err != nil {
+			t.Fatal(err)
+		}
+		zl := 1 + int(seed&0x7fffffff)%l
+		if err := m.EnsureZNorm(zl); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for _, ll := range []int{1, l / 2, l} {
+					if ll < 1 {
+						continue
+					}
+					if got, want := m.D2(i, j, ll), SquaredEuclidean(refs[i][:ll], refs[j][:ll]); got != want {
+						t.Fatalf("raw D2(%d,%d,%d) = %v, want %v", i, j, ll, got, want)
+					}
+					if got, want := m.D2(j, i, ll), m.D2(i, j, ll); got != want {
+						t.Fatalf("raw D2 not symmetric at (%d,%d,%d)", i, j, ll)
+					}
+				}
+				if got, want := m.ZNormD2(i, j, zl), SquaredEuclidean(ZNorm(refs[i][:zl]), ZNorm(refs[j][:zl])); got != want {
+					t.Fatalf("znorm D2(%d,%d,%d) = %v, want %v", i, j, zl, got, want)
+				}
+			}
+		}
+	})
+}
