@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	etsc-repro [-quick] [-seed N] [-run fig1,fig2,...] [-workers N] [-traincache]
+//	etsc-repro [-quick] [-seed N] [-run fig1,fig2,...] [-workers N] [-traincache] [-engine pruned|eager]
 //
 // With no -run flag every experiment runs, in paper order. Output is the
 // text tables recorded in EXPERIMENTS.md.
@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"etsc/internal/etsc"
 	"etsc/internal/experiments"
 )
 
@@ -57,13 +58,19 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment names (default: all)")
 	workers := flag.Int("workers", 0, "worker pool size for parallel evaluation (0 = NumCPU, 1 = serial; results identical)")
 	traincache := flag.Bool("traincache", false, "train algorithm suites through a shared memoized prefix-distance context (results identical, training faster)")
+	engine := flag.String("engine", "pruned", "inference engine: pruned (lazy NN frontier) or eager (results identical)")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "etsc-repro: -workers must be >= 0 (0 = NumCPU), got %d\n", *workers)
 		os.Exit(2)
 	}
+	mode, err := etsc.ParseEngineMode(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsc-repro: %v\n", err)
+		os.Exit(2)
+	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallelism: *workers, TrainCache: *traincache}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallelism: *workers, TrainCache: *traincache, Engine: mode}
 
 	all := []runner{
 		{"fig1", "cat/dog utterances in the UCR format", wrap(experiments.RunFig1)},

@@ -49,6 +49,7 @@ import (
 	"sync"
 	"time"
 
+	"etsc/internal/etsc"
 	"etsc/internal/hub"
 )
 
@@ -64,6 +65,7 @@ func main() {
 		batch      = flag.Int("batch", 64, "load generator: points per Push")
 		rate       = flag.Float64("rate", 0, "load generator: points/sec per stream (0 = unthrottled)")
 		traincache = flag.Bool("traincache", false, "warm-start the demo detectors through shared memoized training contexts (identical pipelines, faster startup)")
+		engine     = flag.String("engine", "pruned", "inference engine for every stream pipeline: pruned (lazy NN frontier) or eager (transcripts identical)")
 	)
 	flag.Parse()
 
@@ -76,6 +78,10 @@ func main() {
 	default:
 		log.Fatalf("unknown -policy %q (want block or drop)", *policy)
 	}
+	mode, err := etsc.ParseEngineMode(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Warm start: every stream of a kind shares one trained detector either
 	// way; -traincache additionally trains the kinds concurrently through
@@ -83,7 +89,6 @@ func main() {
 	// (TestDemoKindsSharedMatchesDemoKinds pins the transcripts).
 	trainStart := time.Now()
 	var kinds []hub.Kind
-	var err error
 	if *traincache {
 		kinds, err = hub.DemoKindsShared(*seed, *workers)
 	} else {
@@ -92,8 +97,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("etsc-serve: trained %d demo kinds in %v (traincache=%v)",
-		len(kinds), time.Since(trainStart).Round(time.Millisecond), *traincache)
+	// The engine mode is per-pipeline configuration: apply it to every kind
+	// so lazily attached streams inherit it (transcripts are identical
+	// either way; the knob trades CPU only).
+	for i := range kinds {
+		kinds[i].Config.Engine = mode
+	}
+	log.Printf("etsc-serve: trained %d demo kinds in %v (traincache=%v engine=%s)",
+		len(kinds), time.Since(trainStart).Round(time.Millisecond), *traincache, mode)
 	h, err := hub.New(hub.Config{Workers: *workers, QueueDepth: *queue, Policy: pol})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,124 @@
+// Benchmarks of the inference hot path — the streaming-prefix evaluation
+// loop the deployment argument lives on. BenchmarkEvalAll pits the pruned
+// lazy-frontier engine against the eager reference engine for every native
+// classifier on the demo datasets; BenchmarkHubPush measures the hub's
+// ingest path end to end with allocation reporting. CI runs both at
+// -benchtime=1x and appends the output to BENCH_eval.json (with host cpus
+// and go version), building the eval-path performance trajectory alongside
+// BENCH_train.json's training trajectory.
+//
+//	go test -bench 'BenchmarkEvalAll|BenchmarkHubPush' -benchmem .
+package etsc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"etsc/internal/etsc"
+	"etsc/internal/hub"
+)
+
+// BenchmarkEvalAll evaluates each native classifier over the GunPoint demo
+// test split through the session engine, point-at-a-time (step 1) — the
+// paper's streaming-prefix loop at its real granularity, where every
+// arriving sample is a decision opportunity. The bank-backed classifiers
+// (ECTS, ProbThreshold) run under both engine modes; the ECTS pruned/eager
+// delta is the frontier's measured win (a global-NN consumer with a strong
+// cutoff prunes hard), while ProbThreshold documents the frontier's
+// honest cost on per-class minima over few, similar classes — its
+// per-class cutoffs are weak, which is exactly what the trajectory in
+// BENCH_eval.json is there to track. The remaining classifiers have a
+// single session path (their Extend work is snapshot- or shapelet-driven,
+// not bank-driven) and appear once.
+func BenchmarkEvalAll(b *testing.B) {
+	train, test := benchSplit(b)
+	builds := []struct {
+		name  string
+		modal bool // distinct pruned/eager sessions
+		make  func() (etsc.EarlyClassifier, error)
+	}{
+		{"ECTS", true, func() (etsc.EarlyClassifier, error) { return etsc.NewECTS(train, false, 0) }},
+		{"ProbThreshold", true, func() (etsc.EarlyClassifier, error) { return etsc.NewProbThreshold(train, 0.8, 10) }},
+		{"TEASER", false, func() (etsc.EarlyClassifier, error) { return etsc.NewTEASER(train, etsc.DefaultTEASERConfig()) }},
+		{"EDSC-CHE", false, func() (etsc.EarlyClassifier, error) { return etsc.NewEDSC(train, etsc.DefaultEDSCConfig(etsc.CHE)) }},
+		{"RelClass", false, func() (etsc.EarlyClassifier, error) {
+			return etsc.NewRelClass(train, etsc.DefaultRelClassConfig(false))
+		}},
+		{"FixedPrefix", false, func() (etsc.EarlyClassifier, error) { return etsc.NewFixedPrefix(train, train.SeriesLen()/3, true) }},
+	}
+	for _, bc := range builds {
+		c, err := bc.make()
+		if err != nil {
+			b.Fatal(err)
+		}
+		modes := []etsc.EngineMode{etsc.Eager, etsc.Pruned}
+		if !bc.modal {
+			modes = modes[1:]
+		}
+		for _, mode := range modes {
+			name := bc.name
+			if bc.modal {
+				name = fmt.Sprintf("%s/%s", bc.name, mode)
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := etsc.EvaluateParallelMode(c, test, 1, 1, mode); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHubPush measures hub ingest throughput on the demo workload
+// with allocation reporting: 4 streams round-robined over the three kinds,
+// batch-64 pushes through a single-worker pool — the shape where the Push
+// path's recycled batch buffers and the sessions' zero-allocation Extends
+// show up directly in allocs/op.
+func BenchmarkHubPush(b *testing.B) {
+	kinds, err := hub.DemoKinds(17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nStreams = 4
+	const perStream = 4_000
+	gens, err := hub.DemoStreams(kinds, 17, nStreams, perStream)
+	if err != nil {
+		b.Fatal(err)
+	}
+	totalPoints := 0
+	for _, g := range gens {
+		totalPoints += len(g.Data)
+	}
+	const batch = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := hub.New(hub.Config{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, g := range gens {
+			if err := h.Attach(g.ID, g.Config); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, g := range gens {
+			for off := 0; off < len(g.Data); off += batch {
+				end := off + batch
+				if end > len(g.Data) {
+					end = len(g.Data)
+				}
+				if err := h.Push(g.ID, g.Data[off:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := h.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(totalPoints * 8))
+}

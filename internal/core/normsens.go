@@ -47,6 +47,13 @@ func MeasureNormSensitivity(c etsc.EarlyClassifier, test *dataset.Dataset, rng *
 // between the two evaluations — never inside the pool — so the measurement
 // is identical for every worker count.
 func MeasureNormSensitivityParallel(c etsc.EarlyClassifier, test *dataset.Dataset, rng *rand.Rand, maxShift float64, step, workers int) (NormSensitivity, error) {
+	return MeasureNormSensitivityEngine(c, test, rng, maxShift, step, workers, etsc.Pruned)
+}
+
+// MeasureNormSensitivityEngine is MeasureNormSensitivityParallel with an
+// explicit inference-engine mode; like the worker count, the mode cannot
+// change the measurement.
+func MeasureNormSensitivityEngine(c etsc.EarlyClassifier, test *dataset.Dataset, rng *rand.Rand, maxShift float64, step, workers int, engine etsc.EngineMode) (NormSensitivity, error) {
 	if c == nil {
 		return NormSensitivity{}, errors.New("core: nil classifier")
 	}
@@ -56,11 +63,11 @@ func MeasureNormSensitivityParallel(c etsc.EarlyClassifier, test *dataset.Datase
 	if maxShift <= 0 {
 		return NormSensitivity{}, fmt.Errorf("core: maxShift must be positive, got %v", maxShift)
 	}
-	normal, err := etsc.EvaluateParallel(c, test, step, workers)
+	normal, err := etsc.EvaluateParallelMode(c, test, step, workers, engine)
 	if err != nil {
 		return NormSensitivity{}, err
 	}
-	denorm, err := etsc.EvaluateParallel(c, test.Denormalize(rng, maxShift), step, workers)
+	denorm, err := etsc.EvaluateParallelMode(c, test.Denormalize(rng, maxShift), step, workers, engine)
 	if err != nil {
 		return NormSensitivity{}, err
 	}

@@ -236,30 +236,22 @@ func (e *ECDIRE) looPosteriorMatrix(m *ts.PrefixDistMatrix, skip, l int) map[int
 }
 
 // softminFromNearest converts per-class nearest distances into a
-// normalized softmin posterior — the shared tail of both LOO paths. All
-// reductions iterate labels in sorted order: float sums over Go's
-// randomized map order would differ in the last ulps between two otherwise
-// identical trainings of a 3+-class set, which the byte-identical
-// train-equivalence contract cannot tolerate.
+// normalized softmin posterior — the shared tail of both LOO paths, a map
+// view over the dense softmin core. All reductions iterate labels in sorted
+// order: float sums over Go's randomized map order would differ in the last
+// ulps between two otherwise identical trainings of a 3+-class set, which
+// the byte-identical train-equivalence contract cannot tolerate.
 func softminFromNearest(nearest map[int]float64, sharp float64) map[int]float64 {
 	labels := sortedLabels(nearest)
-	mean := 0.0
-	for _, lab := range labels {
-		mean += nearest[lab]
+	dense := make([]float64, len(labels))
+	for c, lab := range labels {
+		dense[c] = nearest[lab]
 	}
-	mean /= float64(len(nearest))
-	if mean < 1e-12 {
-		mean = 1e-12
-	}
-	sum := 0.0
-	out := make(map[int]float64, len(nearest))
-	for _, lab := range labels {
-		p := math.Exp(-sharp * nearest[lab] / mean)
-		out[lab] = p
-		sum += p
-	}
-	for _, lab := range labels {
-		out[lab] /= sum
+	post := make([]float64, len(labels))
+	softminDenseInto(dense, sharp, post)
+	out := make(map[int]float64, len(labels))
+	for c, lab := range labels {
+		out[lab] = post[c]
 	}
 	return out
 }

@@ -243,21 +243,50 @@ func (e *ECTS) NewSession() Session {
 	return SessionFromIncremental(e.NewIncrementalSession())
 }
 
-// NewIncrementalSession implements IncrementalClassifier with running
-// squared distances to every training prefix: each Extend costs O(n · Δl)
-// instead of the stateless O(n · l).
+// NewIncrementalSession implements IncrementalClassifier with the default
+// (pruned) engine: a lazy nearest-neighbour frontier over running squared
+// prefix distances, so each Extend pays O(Δl) buffering plus only the
+// frontier's candidate extensions — most training series stay lazily
+// behind. The eager variant (every accumulator extended every step,
+// O(n · Δl)) remains available through OpenSessionMode; both produce
+// byte-identical decisions because the frontier's Min is pinned
+// byte-identical to the eager bank's.
 func (e *ECTS) NewIncrementalSession() IncrementalSession {
-	return &ectsSession{e: e, bank: ts.NewPrefixDistBank(e.refs)}
+	return e.newIncrementalSessionMode(Pruned)
+}
+
+// nnBank is the running nearest-neighbour surface the session needs, served
+// eagerly by ts.PrefixDistBank or lazily by ts.LazyPrefixDistBank.
+type nnBank interface {
+	Extend(points []float64)
+	Min() (index int, d2 float64)
+	Len() int
+}
+
+// newIncrementalSessionMode implements modeClassifier.
+func (e *ECTS) newIncrementalSessionMode(mode EngineMode) IncrementalSession {
+	var bank nnBank
+	if mode == Eager {
+		bank = ts.NewPrefixDistBank(e.refs)
+	} else {
+		bank = ts.NewLazyPrefixDistBank(e.refs)
+	}
+	return &ectsSession{e: e, bank: bank}
 }
 
 type ectsSession struct {
 	e        *ECTS
-	bank     *ts.PrefixDistBank // running squared distance to each training prefix
+	bank     nnBank // running squared distance to each training prefix
 	done     bool
 	decision Decision
 }
 
-// Extend implements IncrementalSession.
+// Extend implements IncrementalSession. Per the session truncation
+// contract, points past the model's full length are dropped: the slice is
+// clamped to the remaining room, and at exactly room == 0 the clamp is
+// points[:0] — the bank stays at full length and the decision below is
+// recomputed from the unchanged full-length distances, so overfed calls
+// keep returning the stable full-length decision.
 func (s *ectsSession) Extend(points []float64) Decision {
 	if s.done {
 		return s.decision
@@ -318,36 +347,30 @@ func softminPosteriorT(train *dataset.Dataset, prefix []float64, sharpness float
 
 // softminFromSquaredDists converts per-training-instance squared prefix
 // distances into the softmin class posterior. labels must be the dataset's
-// sorted label set (train.Labels(), which hot paths cache). It is shared by
-// the pure path (which computes the distances from scratch) and the
-// incremental sessions (which read them from a running PrefixDistBank); all
-// reductions iterate in deterministic order so both paths produce
-// bit-identical posteriors.
+// sorted label set (train.Labels(), which hot paths cache). It is a map
+// view over the dense posterior core (labelIndex reductions +
+// softminDenseInto), the same core the allocation-free incremental sessions
+// use directly, so the pure and incremental paths produce bit-identical
+// posteriors by construction.
 func softminFromSquaredDists(train *dataset.Dataset, labels []int, d2 []float64, sharpness float64) map[int]float64 {
-	nearest := make(map[int]float64, len(labels))
+	nearest := make([]float64, len(labels))
+	for c := range nearest {
+		nearest[c] = math.Inf(1)
+	}
 	for i, in := range train.Instances {
-		d := math.Sqrt(d2[i])
-		if cur, ok := nearest[in.Label]; !ok || d < cur {
-			nearest[in.Label] = d
+		c := sort.SearchInts(labels, in.Label)
+		if d2[i] < nearest[c] {
+			nearest[c] = d2[i]
 		}
 	}
-	mean := 0.0
-	for _, lab := range labels {
-		mean += nearest[lab]
+	for c, d := range nearest {
+		nearest[c] = math.Sqrt(d)
 	}
-	mean /= float64(len(nearest))
-	if mean < 1e-12 {
-		mean = 1e-12
-	}
-	sum := 0.0
-	out := make(map[int]float64, len(nearest))
-	for _, lab := range labels {
-		p := math.Exp(-sharpness * nearest[lab] / mean)
-		out[lab] = p
-		sum += p
-	}
-	for lab := range out {
-		out[lab] /= sum
+	post := make([]float64, len(labels))
+	softminDenseInto(nearest, sharpness, post)
+	out := make(map[int]float64, len(labels))
+	for c, lab := range labels {
+		out[lab] = post[c]
 	}
 	return out
 }

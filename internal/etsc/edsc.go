@@ -394,9 +394,10 @@ func (e *EDSC) NewSession() Session {
 // (shapelet, window) pair is measured at most once per stream, where the
 // pure path rescans the whole prefix at every opportunity. A shapelet match
 // does not depend on the prefix length that revealed the window, so the
-// decision point and label equal the pure path's.
+// decision point and label equal the pure path's. The stream buffer is
+// preallocated to the model's full length, so Extend never allocates.
 func (e *EDSC) NewIncrementalSession() IncrementalSession {
-	return &edscSession{e: e, nextStart: make([]int, len(e.Shapelets))}
+	return &edscSession{e: e, buf: make([]float64, 0, e.full), nextStart: make([]int, len(e.Shapelets))}
 }
 
 type edscSession struct {
@@ -407,7 +408,9 @@ type edscSession struct {
 	decision  Decision
 }
 
-// Extend implements IncrementalSession.
+// Extend implements IncrementalSession. Points past the model's full length
+// are dropped per the session truncation contract (see
+// IncrementalSession.Extend).
 func (s *edscSession) Extend(points []float64) Decision {
 	if s.done {
 		return s.decision

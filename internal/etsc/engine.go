@@ -1,6 +1,8 @@
 package etsc
 
 import (
+	"fmt"
+
 	"etsc/internal/dataset"
 	"etsc/internal/par"
 )
@@ -21,7 +23,19 @@ type IncrementalSession interface {
 	// Extend appends newly arrived points to the stream seen so far and
 	// returns the classifier's current decision. Once a decision is Ready
 	// the session latches: further Extends return the same decision.
-	// Points beyond the classifier's FullLength are ignored.
+	//
+	// Truncation contract: a session consumes at most FullLength points.
+	// When an Extend spans the boundary, the overflow is truncated — only
+	// the first room = FullLength − seen points are applied — and once
+	// room == 0 every subsequent batch is dropped whole: the call still
+	// returns the (unchanged) full-length decision, and no error or panic
+	// signals the overfeed. This is deliberate, mirroring the hub's
+	// explicit-contract style: monitors slice exact windows, so overfeed
+	// only occurs when a caller replays a stream past a model's horizon,
+	// and the stable full-length decision is the correct answer there.
+	// Callers that must detect overfeed compare their own point count
+	// against FullLength. TestSessionTruncationAtFull pins this behaviour
+	// for every native session, including the exact room == 0 edge.
 	Extend(points []float64) Decision
 }
 
@@ -34,14 +48,74 @@ type IncrementalClassifier interface {
 	NewIncrementalSession() IncrementalSession
 }
 
+// EngineMode selects the inference-engine variant behind OpenSessionMode.
+// Decisions — labels, readiness, decision points, and therefore every
+// evaluation summary and monitoring transcript — are byte-identical across
+// modes (the engine-mode battery pins this); the mode trades CPU work only.
+type EngineMode int
+
+const (
+	// Pruned (the zero value, and the default everywhere) serves
+	// nearest-neighbour classifiers from a lazy frontier over monotone
+	// running prefix distances: candidates are extended only while they can
+	// still be nearest, so most of the training set stays lazily behind.
+	Pruned EngineMode = iota
+	// Eager extends every training accumulator on every step — the
+	// pre-frontier cost model, kept as the pinned reference path and the
+	// baseline the eval benchmark trajectory measures pruning against.
+	Eager
+)
+
+// String returns the mode name.
+func (m EngineMode) String() string {
+	switch m {
+	case Pruned:
+		return "pruned"
+	case Eager:
+		return "eager"
+	default:
+		return fmt.Sprintf("EngineMode(%d)", int(m))
+	}
+}
+
+// ParseEngineMode parses "pruned" or "eager".
+func ParseEngineMode(s string) (EngineMode, error) {
+	switch s {
+	case "pruned":
+		return Pruned, nil
+	case "eager":
+		return Eager, nil
+	default:
+		return 0, fmt.Errorf("etsc: unknown engine mode %q (want pruned or eager)", s)
+	}
+}
+
+// modeClassifier is implemented by classifiers whose native session has
+// distinct pruned and eager variants (the distance-bank ones: ECTS,
+// ProbThreshold). Everything else serves the same session in both modes.
+type modeClassifier interface {
+	newIncrementalSessionMode(mode EngineMode) IncrementalSession
+}
+
 // OpenSession returns the most efficient per-stream session the classifier
 // supports: its native incremental session when it implements
 // IncrementalClassifier, a buffering adapter over its stateful Session when
 // it implements SessionClassifier, and a buffering adapter over the pure
 // ClassifyPrefix path otherwise. Every evaluation harness (RunOne,
 // stream.Monitor, stream.Online) drives classifiers through this single
-// entry point.
+// entry point. Native sessions default to the Pruned engine;
+// OpenSessionMode selects explicitly.
 func OpenSession(c EarlyClassifier) IncrementalSession {
+	return OpenSessionMode(c, Pruned)
+}
+
+// OpenSessionMode is OpenSession with an explicit engine mode. For
+// classifiers without a pruned/eager distinction the mode is irrelevant and
+// the usual dispatch applies.
+func OpenSessionMode(c EarlyClassifier, mode EngineMode) IncrementalSession {
+	if mc, ok := c.(modeClassifier); ok {
+		return mc.newIncrementalSessionMode(mode)
+	}
 	if ic, ok := c.(IncrementalClassifier); ok {
 		return ic.NewIncrementalSession()
 	}
@@ -123,7 +197,9 @@ func (w *incAsStep) Step(prefix []float64) Decision {
 }
 
 // appendClamped appends points to buf, dropping any beyond full points
-// total.
+// total — the buffering half of the session truncation contract (see
+// IncrementalSession.Extend): at room == 0 the whole batch is dropped and
+// buf returns unchanged.
 func appendClamped(buf, points []float64, full int) []float64 {
 	if room := full - len(buf); len(points) > room {
 		points = points[:room]
@@ -147,13 +223,20 @@ func seriesRefs(d *dataset.Dataset) [][]float64 {
 // so the outcome slice — ordered by test instance, exactly as Evaluate
 // orders it — is identical for every worker count.
 func EvaluateParallel(c EarlyClassifier, test *dataset.Dataset, step, workers int) (Summary, error) {
+	return EvaluateParallelMode(c, test, step, workers, Pruned)
+}
+
+// EvaluateParallelMode is EvaluateParallel with an explicit engine mode.
+// The outcome slice is identical for every mode and worker count; the mode
+// only selects how much distance work the sessions prune.
+func EvaluateParallelMode(c EarlyClassifier, test *dataset.Dataset, step, workers int, mode EngineMode) (Summary, error) {
 	if err := checkEvaluate(c, test); err != nil {
 		return Summary{}, err
 	}
 	s := Summary{Full: c.FullLength(), Outcomes: make([]Outcome, test.Len())}
 	par.Do(test.Len(), workers, func(i int) {
 		in := test.Instances[i]
-		label, length, forced := RunOne(c, in.Series, step)
+		label, length, forced := RunOneMode(c, in.Series, step, mode)
 		s.Outcomes[i] = Outcome{Predicted: label, Actual: in.Label, Length: length, Forced: forced}
 	})
 	return s, nil

@@ -145,6 +145,12 @@ func (s Summary) HarmonicMean() float64 {
 // commits it is forced at full length. Sessions come from OpenSession, so
 // classifiers with native incremental sessions pay O(Δ) per opportunity.
 func RunOne(c EarlyClassifier, series []float64, step int) (label, length int, forced bool) {
+	return RunOneMode(c, series, step, Pruned)
+}
+
+// RunOneMode is RunOne with an explicit engine mode; the decision triple is
+// identical for every mode.
+func RunOneMode(c EarlyClassifier, series []float64, step int, mode EngineMode) (label, length int, forced bool) {
 	if step < 1 {
 		step = 1
 	}
@@ -152,7 +158,7 @@ func RunOne(c EarlyClassifier, series []float64, step int) (label, length int, f
 	if full > len(series) {
 		full = len(series)
 	}
-	sess := OpenSession(c)
+	sess := OpenSessionMode(c, mode)
 	prev := 0
 	for l := step; l <= full; l += step {
 		d := sess.Extend(series[prev:l])

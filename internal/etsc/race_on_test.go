@@ -1,0 +1,8 @@
+//go:build race
+
+package etsc
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation changes escape analysis and allocation behaviour;
+// allocation-count assertions skip themselves under it.
+const raceEnabled = true

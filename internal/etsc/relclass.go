@@ -183,6 +183,13 @@ func (r *RelClass) logPosterior(series []float64, l int) []float64 {
 
 // posteriorFromLog converts log posteriors to normalized probabilities.
 func posteriorFromLog(lp []float64) []float64 {
+	out := make([]float64, len(lp))
+	posteriorFromLogInto(out, lp)
+	return out
+}
+
+// posteriorFromLogInto is posteriorFromLog into a caller-owned buffer.
+func posteriorFromLogInto(dst, lp []float64) {
 	best := lp[0]
 	for _, v := range lp[1:] {
 		if v > best {
@@ -190,15 +197,13 @@ func posteriorFromLog(lp []float64) []float64 {
 		}
 	}
 	sum := 0.0
-	out := make([]float64, len(lp))
 	for i, v := range lp {
-		out[i] = math.Exp(v - best)
-		sum += out[i]
+		dst[i] = math.Exp(v - best)
+		sum += dst[i]
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
 }
 
 func argmax(xs []float64) int {
@@ -221,38 +226,57 @@ func (r *RelClass) Reliability(prefix []float64) (label int, reliability float64
 	return r.reliabilityFromLog(r.logPosterior(prefix, l), l)
 }
 
+// relScratch is the per-session (or per-call) working memory of the Monte
+// Carlo reliability estimate; owning one makes repeated estimates
+// allocation-free.
+type relScratch struct {
+	post, cum, flp []float64
+}
+
+func (r *RelClass) newRelScratch() *relScratch {
+	k := len(r.labels)
+	return &relScratch{post: make([]float64, k), cum: make([]float64, k), flp: make([]float64, k)}
+}
+
 // reliabilityFromLog is Reliability on an already-accumulated per-class log
-// posterior of the first l points; the incremental session feeds it running
-// sums. lp is not modified.
+// posterior of the first l points; it allocates a fresh scratch, the
+// session-owned path goes through reliabilityFromLogScratch directly. lp is
+// not modified.
 func (r *RelClass) reliabilityFromLog(lp []float64, l int) (label int, reliability float64) {
-	post := posteriorFromLog(lp)
-	mapIdx := argmax(post)
+	return r.reliabilityFromLogScratch(lp, l, r.newRelScratch())
+}
+
+// reliabilityFromLogScratch is the allocation-free core shared by the pure
+// and incremental paths: identical arithmetic, with the per-sample
+// completion buffer reused via copy instead of cloned.
+func (r *RelClass) reliabilityFromLogScratch(lp []float64, l int, scr *relScratch) (label int, reliability float64) {
+	posteriorFromLogInto(scr.post, lp)
+	mapIdx := argmax(scr.post)
 	if l == r.full {
 		return r.labels[mapIdx], 1
 	}
 	// Cumulative posterior for class sampling.
-	cum := make([]float64, len(post))
 	acc := 0.0
-	for i, p := range post {
+	for i, p := range scr.post {
 		acc += p
-		cum[i] = acc
+		scr.cum[i] = acc
 	}
 	agree := 0
 	for s := range r.noise {
 		// Sample the completing class from the prefix posterior…
-		ci := sort.SearchFloat64s(cum, r.classU[s])
+		ci := sort.SearchFloat64s(scr.cum, r.classU[s])
 		if ci >= len(r.labels) {
 			ci = len(r.labels) - 1
 		}
 		// …and complete the suffix from that class's model.
-		flp := append([]float64(nil), lp...)
+		copy(scr.flp, lp)
 		for t := l; t < r.full; t++ {
 			x := r.mean[ci][t] + r.std[ci][t]*r.noise[s][t]
 			for cj := range r.labels {
-				flp[cj] += stats.LogGaussianPDF(x, r.mean[cj][t], r.std[cj][t])
+				scr.flp[cj] += stats.LogGaussianPDF(x, r.mean[cj][t], r.std[cj][t])
 			}
 		}
-		if argmax(flp) == mapIdx {
+		if argmax(scr.flp) == mapIdx {
 			agree++
 		}
 	}
@@ -269,24 +293,29 @@ func (r *RelClass) ClassifyPrefix(prefix []float64) Decision {
 // NewIncrementalSession implements IncrementalClassifier with running
 // per-class log-posterior sums: each Extend adds only the new points'
 // Gaussian log-likelihoods (O(classes · Δl)) before the Monte Carlo
-// reliability estimate, instead of re-integrating the whole prefix.
+// reliability estimate, instead of re-integrating the whole prefix. The
+// Monte Carlo scratch is session-owned, so steady-state Extends do not
+// allocate.
 func (r *RelClass) NewIncrementalSession() IncrementalSession {
 	lp := make([]float64, len(r.labels))
 	for ci := range r.labels {
 		lp[ci] = math.Log(r.prior[ci])
 	}
-	return &relClassSession{r: r, lp: lp}
+	return &relClassSession{r: r, lp: lp, scr: r.newRelScratch()}
 }
 
 type relClassSession struct {
 	r    *RelClass
 	lp   []float64 // running per-class log posterior of the seen prefix
+	scr  *relScratch
 	seen int
 	done bool
 	dec  Decision
 }
 
-// Extend implements IncrementalSession.
+// Extend implements IncrementalSession. Points past the model's full length
+// are dropped per the session truncation contract (see
+// IncrementalSession.Extend).
 func (s *relClassSession) Extend(points []float64) Decision {
 	if s.done {
 		return s.dec
@@ -307,7 +336,7 @@ func (s *relClassSession) Extend(points []float64) Decision {
 	if s.seen < 1 {
 		return Decision{}
 	}
-	label, rel := r.reliabilityFromLog(s.lp, s.seen)
+	label, rel := r.reliabilityFromLogScratch(s.lp, s.seen, s.scr)
 	d := Decision{Label: label, Ready: rel >= 1-r.Tau && s.seen >= r.MinPrefix}
 	if d.Ready {
 		s.done, s.dec = true, d

@@ -35,6 +35,7 @@ type TEASER struct {
 	ZNormPrefix bool // footnote-2 behaviour (true = as published)
 
 	train    *dataset.Dataset
+	li       *labelIndex        // dense class indexing for the session hot path
 	znTrain  []*dataset.Dataset // per-snapshot z-normalized prefix training sets
 	rawTrain []*dataset.Dataset // per-snapshot raw prefix training sets
 	lengths  []int
@@ -186,6 +187,7 @@ func teaserSetup(train *dataset.Dataset, cfg TEASERConfig) (*TEASER, TEASERConfi
 		V:           cfg.V,
 		ZNormPrefix: cfg.ZNormPrefix,
 		train:       train,
+		li:          newLabelIndex(train),
 		full:        L,
 	}
 	for k := 1; k <= cfg.Snapshots; k++ {
@@ -269,43 +271,24 @@ func (t *TEASER) slavePosterior(si int, prepared []float64, skip int) (label int
 
 // nearestTopMargin converts per-class nearest distances into the slave's
 // softmin decision: the MAP label, its probability, and the top-two margin.
-// It is the shared tail of the direct scan and the matrix-backed LOO path,
-// so both feed identical distances through identical arithmetic. Labels
-// are reduced in sorted order (not randomized map order) so the sums are
-// bit-reproducible and exact probability ties break toward the smallest
-// label in both paths.
+// It is the shared tail of the direct scan and the matrix-backed LOO path —
+// a map view over topMarginDense, the same core the allocation-free session
+// scan uses, so every path feeds identical distances through identical
+// arithmetic. Labels are reduced in sorted order (not randomized map order)
+// so the sums are bit-reproducible and exact probability ties break toward
+// the smallest label in every path.
 func nearestTopMargin(nearest map[int]float64) (label int, top, margin float64) {
 	if len(nearest) == 0 {
 		return 0, 0, 0
 	}
 	labels := sortedLabels(nearest)
-	mean := 0.0
-	for _, lab := range labels {
-		mean += nearest[lab]
+	dense := make([]float64, len(labels))
+	for c, lab := range labels {
+		dense[c] = nearest[lab]
 	}
-	mean /= float64(len(nearest))
-	if mean < 1e-12 {
-		mean = 1e-12
-	}
-	sum := 0.0
 	probs := make([]float64, len(labels))
-	for li, lab := range labels {
-		p := math.Exp(-nearest[lab] / mean)
-		probs[li] = p
-		sum += p
-	}
-	best, second := 0.0, 0.0
-	for li, p := range probs {
-		p /= sum
-		if p > best {
-			second = best
-			best = p
-			label = labels[li]
-		} else if p > second {
-			second = p
-		}
-	}
-	return label, best, best - second
+	ci, top, margin := topMarginDense(dense, probs)
+	return labels[ci], top, margin
 }
 
 // slaveClassifyLOO is slavePosterior on a training instance's own prefix
@@ -316,12 +299,50 @@ func (t *TEASER) slaveClassifyLOO(si int, prepared []float64, skip int) (label i
 
 // prepare converts a raw incoming prefix into the slave's input space.
 func (t *TEASER) prepare(si int, prefix []float64) []float64 {
+	return t.prepareInto(si, prefix, nil)
+}
+
+// prepareInto is prepare with an optional caller-owned z-norm scratch of
+// capacity >= the snapshot length (nil allocates, as the pure path does).
+// ZNorm is ZNormInto plus an allocation, so both paths normalize
+// bit-identically.
+func (t *TEASER) prepareInto(si int, prefix, scratch []float64) []float64 {
 	l := len(t.slaveSet(si).Instances[0].Series)
 	p := prefix[:l]
 	if t.ZNormPrefix {
-		return ts.ZNorm(p)
+		if scratch == nil {
+			scratch = make([]float64, l)
+		}
+		ts.ZNormInto(scratch[:l], p)
+		return scratch[:l]
 	}
 	return p
+}
+
+// slaveTopMargin is the session's allocation-free slave decision: the same
+// per-class nearest-distance reduction as slavePosterior (skip = none), but
+// over dense scratch and with early abandoning against the running
+// class-nearest — an abandoned scan can only belong to an instance that
+// could not have changed its class's strict minimum, so the resulting
+// nearest distances, and therefore the (label, top, margin) triple, are
+// byte-identical to the map path's. nearest2, nearest, and probs are
+// class-indexed scratch owned by the caller.
+func (t *TEASER) slaveTopMargin(si int, prepared []float64, nearest2, nearest, probs []float64) (label int, top, margin float64) {
+	set := t.slaveSet(si)
+	for c := range nearest2 {
+		nearest2[c] = math.Inf(1)
+	}
+	for i, in := range set.Instances {
+		c := t.li.classOf[i]
+		if d2, ok := ts.SquaredEuclideanEA(prepared, in.Series, nearest2[c]); ok && d2 < nearest2[c] {
+			nearest2[c] = d2
+		}
+	}
+	for c, d := range nearest2 {
+		nearest[c] = math.Sqrt(d)
+	}
+	ci, top, margin := topMarginDense(nearest, probs)
+	return t.li.labels[ci], top, margin
 }
 
 // snapshotIndexFor returns the largest snapshot index whose length fits the
@@ -383,14 +404,29 @@ func (t *TEASER) NewSession() Session {
 // NewIncrementalSession implements IncrementalClassifier: the slave scan
 // evaluates each snapshot exactly once as the stream grows, carrying the
 // master-gated consistency streak across Extends — where the pure path
-// replays every covered snapshot at every opportunity.
+// replays every covered snapshot at every opportunity. The z-norm and
+// per-class reduction scratch is session-owned and the slave scan abandons
+// references early against the running class-nearest, so steady-state
+// Extends neither allocate nor scan past hopeless references.
 func (t *TEASER) NewIncrementalSession() IncrementalSession {
-	return &teaserSession{t: t, buf: make([]float64, 0, t.full)}
+	k := t.li.classes()
+	return &teaserSession{
+		t:        t,
+		buf:      make([]float64, 0, t.full),
+		prep:     make([]float64, t.full),
+		nearest2: make([]float64, k),
+		nearest:  make([]float64, k),
+		probs:    make([]float64, k),
+	}
 }
 
 type teaserSession struct {
 	t           *TEASER
 	buf         []float64
+	prep        []float64 // z-norm scratch for snapshot prefixes
+	nearest2    []float64 // per-class min squared distance scratch
+	nearest     []float64 // per-class nearest distance scratch
+	probs       []float64 // posterior scratch
 	nextSnap    int
 	streak      int
 	streakLabel int
@@ -398,7 +434,9 @@ type teaserSession struct {
 	decision    Decision
 }
 
-// Extend implements IncrementalSession.
+// Extend implements IncrementalSession. Points past the model's full length
+// are dropped per the session truncation contract (see
+// IncrementalSession.Extend).
 func (s *teaserSession) Extend(points []float64) Decision {
 	if s.done {
 		return s.decision
@@ -408,7 +446,8 @@ func (s *teaserSession) Extend(points []float64) Decision {
 	for s.nextSnap < len(t.lengths) && t.lengths[s.nextSnap] <= len(s.buf) {
 		si := s.nextSnap
 		s.nextSnap++
-		label, top, margin := t.slavePosterior(si, t.prepare(si, s.buf), -1)
+		prepared := t.prepareInto(si, s.buf, s.prep)
+		label, top, margin := t.slaveTopMargin(si, prepared, s.nearest2, s.nearest, s.probs)
 		if !t.masters[si].accept(top, margin) {
 			s.streak = 0
 			continue

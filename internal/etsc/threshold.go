@@ -25,6 +25,7 @@ type ProbThreshold struct {
 
 	train  *dataset.Dataset
 	labels []int       // sorted label set, cached for the session hot path
+	li     *labelIndex // dense class indexing for the session hot path
 	refs   [][]float64 // training series, for incremental distance banks
 	full   int
 }
@@ -45,12 +46,14 @@ func NewProbThreshold(train *dataset.Dataset, threshold float64, minPrefix int) 
 	if minPrefix < 1 {
 		minPrefix = 1
 	}
+	li := newLabelIndex(train)
 	return &ProbThreshold{
 		Threshold: threshold,
 		MinPrefix: minPrefix,
 		Sharpness: 5,
 		train:     train,
-		labels:    train.Labels(),
+		labels:    li.labels,
+		li:        li,
 		refs:      seriesRefs(train),
 		full:      train.SeriesLen(),
 	}, nil
@@ -80,45 +83,97 @@ func (p *ProbThreshold) ClassifyPrefix(prefix []float64) Decision {
 }
 
 // decide turns a posterior at the given prefix length into a decision; the
-// pure and incremental paths share it.
+// pure (map) path funnels into decideTop, which the dense session path
+// calls directly, so both resolve thresholds and ties identically.
 func (p *ProbThreshold) decide(post map[int]float64, l int) Decision {
 	if post == nil {
 		return Decision{}
 	}
 	bestLabel, bestP := maxPosterior(post)
-	ready := bestP >= p.Threshold && l >= p.MinPrefix
-	return Decision{Label: bestLabel, Ready: ready}
+	return p.decideTop(bestLabel, bestP, l)
 }
 
-// NewIncrementalSession implements IncrementalClassifier with a running
-// distance bank over the training set: each Extend costs O(n · Δl) and the
-// posterior is recomputed from the accumulated squared distances, giving
-// decisions bit-identical to ClassifyPrefix.
+// decideTop is the shared decision tail on an already-resolved MAP label.
+func (p *ProbThreshold) decideTop(label int, bestP float64, l int) Decision {
+	ready := bestP >= p.Threshold && l >= p.MinPrefix
+	return Decision{Label: label, Ready: ready}
+}
+
+// NewIncrementalSession implements IncrementalClassifier with the default
+// (pruned) engine: one lazy nearest-neighbour frontier per class, so each
+// step resolves the per-class nearest distances the softmin posterior needs
+// while references that cannot be class-nearest stay lazily behind. The
+// eager variant keeps a full ts.PrefixDistBank (O(n · Δl) per step) and
+// reduces the complete distance vector. Both feed the same dense softmin
+// with bit-identical nearest distances — the frontier's per-group minima
+// are pinned byte-identical to the eager scan — so decisions match
+// ClassifyPrefix exactly in either mode. All scratch is session-owned and
+// preallocated; steady-state Extends do not allocate.
 func (p *ProbThreshold) NewIncrementalSession() IncrementalSession {
-	return &probThresholdSession{p: p, bank: ts.NewPrefixDistBank(p.refs)}
+	return p.newIncrementalSessionMode(Pruned)
+}
+
+// newIncrementalSessionMode implements modeClassifier.
+func (p *ProbThreshold) newIncrementalSessionMode(mode EngineMode) IncrementalSession {
+	s := &probThresholdSession{
+		p:       p,
+		nearest: make([]float64, p.li.classes()),
+		post:    make([]float64, p.li.classes()),
+	}
+	if mode == Eager {
+		s.bank = ts.NewPrefixDistBank(p.refs)
+	} else {
+		s.lazy = ts.NewGroupedLazyPrefixDistBank(p.refs, p.li.classOf, p.li.classes())
+	}
+	return s
 }
 
 type probThresholdSession struct {
 	p    *ProbThreshold
-	bank *ts.PrefixDistBank
-	done bool
-	dec  Decision
+	bank *ts.PrefixDistBank     // eager engine: full distance vector
+	lazy *ts.LazyPrefixDistBank // pruned engine: one frontier per class
+
+	nearest []float64 // per-class nearest distance scratch
+	post    []float64 // posterior scratch
+	done    bool
+	dec     Decision
 }
 
-// Extend implements IncrementalSession.
+// Extend implements IncrementalSession. Points past the model's full length
+// are dropped per the session truncation contract (see
+// IncrementalSession.Extend).
 func (s *probThresholdSession) Extend(points []float64) Decision {
 	if s.done {
 		return s.dec
 	}
-	if room := s.p.full - s.bank.Len(); len(points) > room {
-		points = points[:room]
+	var l int
+	if s.lazy != nil {
+		if room := s.p.full - s.lazy.Len(); len(points) > room {
+			points = points[:room]
+		}
+		s.lazy.Extend(points)
+		l = s.lazy.Len()
+		if l < 1 {
+			return Decision{}
+		}
+		for c := range s.nearest {
+			_, d2 := s.lazy.GroupMin(c)
+			s.nearest[c] = math.Sqrt(d2)
+		}
+	} else {
+		if room := s.p.full - s.bank.Len(); len(points) > room {
+			points = points[:room]
+		}
+		s.bank.Extend(points)
+		l = s.bank.Len()
+		if l < 1 {
+			return Decision{}
+		}
+		s.p.li.nearestFromSquaredDists(s.bank.D2(), s.nearest)
 	}
-	s.bank.Extend(points)
-	if s.bank.Len() < 1 {
-		return Decision{}
-	}
-	post := softminFromSquaredDists(s.p.train, s.p.labels, s.bank.D2(), s.p.Sharpness)
-	d := s.p.decide(post, s.bank.Len())
+	softminDenseInto(s.nearest, s.p.Sharpness, s.post)
+	ci, bestP := maxDense(s.post)
+	d := s.p.decideTop(s.p.li.labels[ci], bestP, l)
 	if d.Ready {
 		s.done, s.dec = true, d
 	}
@@ -211,9 +266,20 @@ func (f *FixedPrefix) ClassifyPrefix(prefix []float64) Decision {
 }
 
 func (f *FixedPrefix) classifyAt(prefix []float64) int {
-	q := ts.Series(prefix[:f.At])
+	return f.classifyAtInto(prefix, nil)
+}
+
+// classifyAtInto is classifyAt with an optional caller-owned z-norm scratch
+// buffer of length At (nil allocates, as the pure path does); the session
+// passes its own so the decision step is allocation-free.
+func (f *FixedPrefix) classifyAtInto(prefix, scratch []float64) int {
+	q := prefix[:f.At]
 	if f.ZNorm {
-		q = ts.ZNorm(q)
+		if scratch == nil {
+			scratch = make([]float64, f.At)
+		}
+		ts.ZNormInto(scratch[:f.At], q)
+		q = scratch[:f.At]
 	}
 	best, bestD := 0, math.Inf(1)
 	for _, in := range f.prefix.Instances {
@@ -228,19 +294,27 @@ func (f *FixedPrefix) classifyAt(prefix []float64) int {
 // NewIncrementalSession implements IncrementalClassifier: points are
 // buffered at O(1) cost until the decision length At arrives, then the 1NN
 // vote runs exactly once — where the pure path would be consulted at every
-// intermediate opportunity.
+// intermediate opportunity. Buffer and z-norm scratch are preallocated, so
+// Extend never allocates.
 func (f *FixedPrefix) NewIncrementalSession() IncrementalSession {
-	return &fixedPrefixSession{f: f, buf: make([]float64, 0, f.At)}
+	s := &fixedPrefixSession{f: f, buf: make([]float64, 0, f.At)}
+	if f.ZNorm {
+		s.zn = make([]float64, f.At)
+	}
+	return s
 }
 
 type fixedPrefixSession struct {
 	f    *FixedPrefix
 	buf  []float64
+	zn   []float64 // z-norm scratch for the decision step (nil when raw)
 	done bool
 	dec  Decision
 }
 
-// Extend implements IncrementalSession.
+// Extend implements IncrementalSession. Points past the decision length are
+// dropped per the session truncation contract (see
+// IncrementalSession.Extend).
 func (s *fixedPrefixSession) Extend(points []float64) Decision {
 	if s.done {
 		return s.dec
@@ -250,7 +324,7 @@ func (s *fixedPrefixSession) Extend(points []float64) Decision {
 		return Decision{}
 	}
 	s.done = true
-	s.dec = Decision{Label: s.f.classifyAt(s.buf), Ready: true}
+	s.dec = Decision{Label: s.f.classifyAtInto(s.buf, s.zn), Ready: true}
 	return s.dec
 }
 

@@ -104,7 +104,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ns, err := core.MeasureNormSensitivityParallel(c, test, synth.NewRand(cfg.Seed+1), maxShift, step, cfg.Parallelism)
+		ns, err := core.MeasureNormSensitivityEngine(c, test, synth.NewRand(cfg.Seed+1), maxShift, step, cfg.Parallelism, cfg.Engine)
 		if err != nil {
 			return nil, err
 		}

@@ -81,6 +81,10 @@ type StreamConfig struct {
 	Step       int // prefix growth per decision opportunity (0 = default 4)
 	Suppress   int // same-label debounce radius (0 = off)
 	Verifier   stream.Verifier
+	// Engine selects the candidate sessions' inference engine (the zero
+	// value is the default pruned lazy-frontier engine). Transcripts are
+	// identical for every mode.
+	Engine etsc.EngineMode
 }
 
 // StreamStats is one stream's observable state.
@@ -139,6 +143,7 @@ type hubStream struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    [][]float64
+	free     [][]float64 // drained batch buffers for Push to reuse
 	running  bool
 	detached bool
 	stats    StreamStats
@@ -177,7 +182,7 @@ func (h *Hub) Attach(id string, sc StreamConfig) error {
 	if sc.Suppress < 0 {
 		return fmt.Errorf("hub: Suppress must be >= 0 (0 = off), got %d", sc.Suppress)
 	}
-	online, err := stream.NewOnline(sc.Classifier, sc.Stride, sc.Step)
+	online, err := stream.NewOnlineEngine(sc.Classifier, sc.Stride, sc.Step, sc.Engine)
 	if err != nil {
 		return err
 	}
@@ -187,6 +192,11 @@ func (h *Hub) Attach(id string, sc StreamConfig) error {
 		supp:   stream.NewSuppressor(sc.Suppress),
 		verif:  sc.Verifier,
 		window: sc.Classifier.FullLength(),
+		// Queue and freelist capacities cover the stream's whole batch
+		// population (at most depth queued plus one draining), so the
+		// steady-state Push path never grows either slice.
+		queue: make([][]float64, 0, h.depth),
+		free:  make([][]float64, 0, h.depth+1),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	h.mu.Lock()
@@ -201,11 +211,14 @@ func (h *Hub) Attach(id string, sc StreamConfig) error {
 	return nil
 }
 
-// Push ingests one batch of points for a stream. The batch is copied, so
-// the caller may reuse its buffer. With a full queue, Block policy waits
-// and Drop policy returns ErrDropped (and counts the drop in the stream's
-// stats). Detections surface asynchronously via Detections/Snapshot after
-// the drain worker applies the batch; Flush waits for that.
+// Push ingests one batch of points for a stream. The batch is copied — the
+// caller may reuse its buffer — into a buffer recycled from the stream's
+// drained batches, so with steadily sized batches the Push path is
+// allocation-free in steady state (the alloc regression test pins this).
+// With a full queue, Block policy waits and Drop policy returns ErrDropped
+// (and counts the drop in the stream's stats). Detections surface
+// asynchronously via Detections/Snapshot after the drain worker applies
+// the batch; Flush waits for that.
 func (h *Hub) Push(id string, points []float64) error {
 	h.mu.Lock()
 	if h.closed {
@@ -220,13 +233,12 @@ func (h *Hub) Push(id string, points []float64) error {
 	if len(points) == 0 {
 		return nil
 	}
-	batch := append([]float64(nil), points...)
 
 	s.mu.Lock()
 	for len(s.queue) >= h.depth && !s.detached {
 		if h.policy == Drop {
 			s.stats.DroppedBatches++
-			s.stats.DroppedPoints += int64(len(batch))
+			s.stats.DroppedPoints += int64(len(points))
 			s.mu.Unlock()
 			return fmt.Errorf("%w: %q", ErrDropped, id)
 		}
@@ -236,6 +248,13 @@ func (h *Hub) Push(id string, points []float64) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownStream, id)
 	}
+	var batch []float64
+	if k := len(s.free); k > 0 {
+		batch = s.free[k-1][:0]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	}
+	batch = append(batch, points...)
 	s.queue = append(s.queue, batch)
 	s.stats.QueuedBatches = len(s.queue)
 	if !s.running {
@@ -273,8 +292,16 @@ func (h *Hub) drain(s *hubStream) {
 			panic(r)
 		}
 	}()
+	var done []float64 // previous batch's buffer, recycled under the lock
 	for {
 		s.mu.Lock()
+		if done != nil {
+			// applyBatch copied what it keeps (the tail), so the buffer is
+			// free for the next Push to fill. The freelist is bounded by
+			// the batch population (depth queued + one draining).
+			s.free = append(s.free, done)
+			done = nil
+		}
 		if len(s.queue) == 0 {
 			s.running = false
 			s.cond.Broadcast()
@@ -289,6 +316,7 @@ func (h *Hub) drain(s *hubStream) {
 		s.mu.Unlock()
 
 		s.applyBatch(batch)
+		done = batch
 	}
 }
 
@@ -563,7 +591,7 @@ func Reference(sc StreamConfig, series []float64) ([]stream.Detection, error) {
 	if sc.Suppress < 0 {
 		return nil, fmt.Errorf("hub: Suppress must be >= 0 (0 = off), got %d", sc.Suppress)
 	}
-	o, err := stream.NewOnline(sc.Classifier, sc.Stride, sc.Step)
+	o, err := stream.NewOnlineEngine(sc.Classifier, sc.Stride, sc.Step, sc.Engine)
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,7 @@ import (
 // which TestOnlineMatchesBatch asserts.
 type Online struct {
 	classifier etsc.EarlyClassifier
+	engine     etsc.EngineMode
 	stride     int
 	step       int
 	window     int
@@ -35,9 +36,16 @@ type onlineCandidate struct {
 	sess    etsc.IncrementalSession
 }
 
-// NewOnline builds an online monitor. Like Monitor, a stride or step of 0
-// selects the default (4) and negative values are configuration errors.
+// NewOnline builds an online monitor on the default (pruned) engine. Like
+// Monitor, a stride or step of 0 selects the default (4) and negative
+// values are configuration errors.
 func NewOnline(c etsc.EarlyClassifier, stride, step int) (*Online, error) {
+	return NewOnlineEngine(c, stride, step, etsc.Pruned)
+}
+
+// NewOnlineEngine is NewOnline with an explicit engine mode for the
+// candidate sessions; detections are identical for every mode.
+func NewOnlineEngine(c etsc.EarlyClassifier, stride, step int, engine etsc.EngineMode) (*Online, error) {
 	if c == nil {
 		return nil, errors.New("stream: Online needs a classifier")
 	}
@@ -47,17 +55,26 @@ func NewOnline(c etsc.EarlyClassifier, stride, step int) (*Online, error) {
 	if step < 0 {
 		return nil, fmt.Errorf("stream: Online step must be >= 0 (0 = default), got %d", step)
 	}
+	if engine != etsc.Pruned && engine != etsc.Eager {
+		return nil, fmt.Errorf("stream: Online engine must be Pruned or Eager, got %d", int(engine))
+	}
 	if stride == 0 {
 		stride = 4
 	}
 	if step == 0 {
 		step = 4
 	}
+	window := c.FullLength()
 	return &Online{
 		classifier: c,
+		engine:     engine,
 		stride:     stride,
 		step:       step,
-		window:     c.FullLength(),
+		window:     window,
+		// The sample buffer's live span never exceeds window+1 points and
+		// trimming reclaims dead prefixes by copy-down (below), so this one
+		// allocation serves the stream forever.
+		buf: make([]float64, 0, 2*(window+1)),
 	}, nil
 }
 
@@ -77,7 +94,7 @@ func (o *Online) Push(v float64) []Detection {
 		o.candidates = append(o.candidates, &onlineCandidate{
 			start:   o.pos,
 			nextLen: o.step,
-			sess:    etsc.OpenSession(o.classifier),
+			sess:    etsc.OpenSessionMode(o.classifier, o.engine),
 		})
 	}
 	o.buf = append(o.buf, v)
@@ -111,14 +128,26 @@ func (o *Online) Push(v float64) []Detection {
 	o.candidates = keep
 
 	// Trim the buffer to the oldest live candidate (or the last window).
+	// Reclaiming by copy-down — rather than re-slicing the dead prefix away,
+	// which marches the slice window through its backing array until append
+	// reallocates — keeps the stream on its construction-time buffer
+	// forever: the live span is at most window points and the dead prefix is
+	// trimmed once it reaches min(stride, window), so the length stays under
+	// the preallocated 2·(window+1) capacity while each point is moved at
+	// most once per stride of progress.
 	oldest := o.pos - o.window
 	for _, c := range o.candidates {
 		if c.start < oldest {
 			oldest = c.start
 		}
 	}
-	if oldest > o.bufStart {
-		o.buf = o.buf[oldest-o.bufStart:]
+	trimAt := o.stride
+	if trimAt > o.window {
+		trimAt = o.window
+	}
+	if oldest-o.bufStart >= trimAt {
+		n := copy(o.buf, o.buf[oldest-o.bufStart:])
+		o.buf = o.buf[:n]
 		o.bufStart = oldest
 	}
 	return out

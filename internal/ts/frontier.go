@@ -1,0 +1,309 @@
+package ts
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the pruned counterpart of PrefixDistBank: a lazy
+// nearest-neighbour frontier over the same monotone running squared
+// distances. The exploited invariant is that a raw squared prefix distance
+// is nondecreasing in prefix length, so a reference's accumulated d² at any
+// shorter prefix is a lower bound on its d² at the current one. A frontier
+// ordered by those (possibly stale) running sums therefore proves a nearest
+// neighbour without touching most references: only candidates whose lower
+// bound still beats the provisional minimum are extended to the current
+// length; everything else stays lazily behind.
+//
+// Two resolution strategies serve the same order, keyed on (d², reference
+// index):
+//
+//   - Small groups (≤ frontierSweepMax references) resolve by a linear
+//     sweep in ascending index order, skipping every reference whose stale
+//     lower bound cannot beat the best resolved so far. At the bank sizes
+//     the classifiers ship (tens to a few hundred training series) this is
+//     the fast path: sequential array traffic and one branch per skipped
+//     reference, cheaper than the 4-point distance kernels it avoids.
+//   - Large groups maintain a min-heap of reference indices and extend
+//     only heap tops until the top's accumulation is current — O(log n)
+//     per extension instead of an O(n) sweep, which wins once groups grow
+//     past the sweep's linear floor.
+//
+// Equivalence contract: Min (and each GroupMin) is byte-identical to the
+// eager bank's scan — the same squared distance and the same first-wins
+// index on exact ties — for every prefix length, Extend chunking, and
+// resolution strategy. Both facts are structural: per-reference sums are
+// the same strict left-to-right fold (the shared extendD2 kernel; chunk
+// boundaries never reassociate it), and both strategies order by
+// (d², index). In the sweep, a stale bound equal to the provisional best
+// is skipped — its true d² can only tie, and the earlier-indexed best wins
+// ties; in the heap, an equal-keyed stale entry with a smaller index is
+// extended before a current top can be returned, and if it stays tied it
+// wins — in each case exactly the eager scan's strict < over ascending
+// indices. frontier_test.go fuzzes the contract under both strategies; the
+// etsc engine battery pins it end to end.
+
+// frontierSweepMax is the group size up to which frontier groups resolve
+// by linear sweep; larger groups pay the heap's bookkeeping to escape the
+// sweep's O(n) floor. A variable, not a constant, so tests can pin both
+// strategies onto the same workloads.
+var frontierSweepMax = 512
+
+// LazyPrefixDistBank answers nearest-reference queries for a growing query
+// prefix without extending every reference on every step. It is the pruned
+// drop-in for PrefixDistBank when only Min (or per-group minima) is
+// consumed; consumers that need the full distance vector keep the eager
+// bank. Construction allocates everything the bank will ever use, so
+// Extend, Min, and GroupMin are allocation-free in steady state.
+//
+// Groups partition the references (e.g. by class label) into independent
+// frontiers; the single-group constructor is the plain nearest-neighbour
+// case.
+type LazyPrefixDistBank struct {
+	refs   [][]float64
+	d2     []float64 // running squared distance per ref, valid up to at[i]
+	at     []int32   // prefix length each ref's d2 has been extended to
+	groups [][]int32 // per group: member ref indices (ascending) or heap order
+	heaped []bool    // per group: heap resolution instead of sweep
+	seed   []int32   // per group: last winner, resolved first to maximize skips
+	query  []float64 // owned copy of the prefix seen so far
+	maxLen int       // shortest reference length = maximum prefix length
+	work   int64     // total point-extensions performed (pruning diagnostic)
+}
+
+// NewLazyPrefixDistBank starts a single-group frontier over refs; all
+// references must be at least as long as the prefixes that will be
+// accumulated.
+func NewLazyPrefixDistBank(refs [][]float64) *LazyPrefixDistBank {
+	return newLazyBank(refs, nil, 1)
+}
+
+// NewGroupedLazyPrefixDistBank starts a frontier with one independent
+// group per class: groupOf[i] names reference i's group in [0, groups).
+// Per-group minima (GroupMin) resolve without disturbing other groups'
+// laziness.
+func NewGroupedLazyPrefixDistBank(refs [][]float64, groupOf []int32, groups int) *LazyPrefixDistBank {
+	if len(groupOf) != len(refs) {
+		panic(fmt.Sprintf("ts: LazyPrefixDistBank group assignment length %d != %d references",
+			len(groupOf), len(refs)))
+	}
+	if groups < 1 {
+		panic(fmt.Sprintf("ts: LazyPrefixDistBank needs >= 1 group, got %d", groups))
+	}
+	return newLazyBank(refs, groupOf, groups)
+}
+
+func newLazyBank(refs [][]float64, groupOf []int32, groups int) *LazyPrefixDistBank {
+	maxLen := 0
+	for i, r := range refs {
+		if i == 0 || len(r) < maxLen {
+			maxLen = len(r)
+		}
+	}
+	b := &LazyPrefixDistBank{
+		refs:   refs,
+		d2:     make([]float64, len(refs)),
+		at:     make([]int32, len(refs)),
+		groups: make([][]int32, groups),
+		heaped: make([]bool, groups),
+		seed:   make([]int32, groups),
+		query:  make([]float64, 0, maxLen),
+		maxLen: maxLen,
+	}
+	for g := range b.seed {
+		b.seed[g] = -1
+	}
+	sizes := make([]int, groups)
+	for i := range refs {
+		g := int32(0)
+		if groupOf != nil {
+			g = groupOf[i]
+		}
+		if g < 0 || int(g) >= groups {
+			panic(fmt.Sprintf("ts: LazyPrefixDistBank reference %d assigned to group %d, want [0,%d)", i, g, groups))
+		}
+		sizes[g]++
+	}
+	for g := range b.groups {
+		b.groups[g] = make([]int32, 0, sizes[g])
+		b.heaped[g] = sizes[g] > frontierSweepMax
+	}
+	// Members are appended in ascending index order — the sweep order, and
+	// for heaped groups a valid initial heap (every key is (0, i) and
+	// parents hold smaller indices than their children).
+	for i := range refs {
+		g := int32(0)
+		if groupOf != nil {
+			g = groupOf[i]
+		}
+		b.groups[g] = append(b.groups[g], int32(i))
+	}
+	return b
+}
+
+// Len returns the prefix length accumulated so far.
+func (b *LazyPrefixDistBank) Len() int { return len(b.query) }
+
+// Size returns the number of reference series.
+func (b *LazyPrefixDistBank) Size() int { return len(b.refs) }
+
+// Groups returns the number of frontier groups.
+func (b *LazyPrefixDistBank) Groups() int { return len(b.groups) }
+
+// Work returns the total number of point-extensions performed so far — the
+// lazy analogue of the eager bank's Size()·Len(). The gap between the two
+// is exactly the work pruning avoided.
+func (b *LazyPrefixDistBank) Work() int64 { return b.work }
+
+// Extend advances the query prefix by the given points. The frontier does
+// no per-reference work here — references are extended on demand by Min and
+// GroupMin — so Extend costs O(len(points)) regardless of bank size.
+func (b *LazyPrefixDistBank) Extend(points []float64) {
+	if len(b.query)+len(points) > b.maxLen {
+		panic(fmt.Sprintf("ts: LazyPrefixDistBank extension to %d overruns shortest reference length %d",
+			len(b.query)+len(points), b.maxLen))
+	}
+	b.query = append(b.query, points...)
+}
+
+// extend advances reference i's accumulation to the current prefix length
+// and returns its squared distance.
+func (b *LazyPrefixDistBank) extend(i int32, n int) float64 {
+	b.work += int64(n - int(b.at[i]))
+	b.d2[i] = extendD2(b.d2[i], b.query[b.at[i]:n], b.refs[i][b.at[i]:n])
+	b.at[i] = int32(n)
+	return b.d2[i]
+}
+
+// less orders frontier entries by (running d², reference index). The index
+// tiebreak is what makes lazy ties resolve exactly like the eager scan's
+// first-wins strict comparison. NaN keys (a non-finite stream sample can
+// drive an accumulator to NaN, and NaN stays NaN) order after everything
+// else — under plain float comparison a NaN root would never sift down and
+// would shadow finite entries below it.
+func (b *LazyPrefixDistBank) less(i, j int32) bool {
+	di, dj := b.d2[i], b.d2[j]
+	if di < dj {
+		return true
+	}
+	if dj < di {
+		return false
+	}
+	if di == dj {
+		return i < j
+	}
+	// Exactly one of the keys is NaN: the other one sorts first.
+	return di == di
+}
+
+// siftDown restores the heap property after the root's key grew.
+func (b *LazyPrefixDistBank) siftDown(h []int32) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h) && b.less(h[l], h[s]) {
+			s = l
+		}
+		if r < len(h) && b.less(h[r], h[s]) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+}
+
+// GroupMin returns the index and squared distance of the nearest reference
+// in group g at the current prefix length, byte-identical to an eager scan
+// of that group ((-1, +Inf) for an empty group).
+func (b *LazyPrefixDistBank) GroupMin(g int) (index int, d2 float64) {
+	members := b.groups[g]
+	if len(members) == 0 {
+		return -1, math.Inf(1)
+	}
+	n := len(b.query)
+	if b.heaped[g] {
+		// Heap resolution: a top whose accumulation is current is the group
+		// minimum — every other entry's stale key is a monotone lower bound
+		// that is already no smaller. A non-finite current top means no
+		// finite distance exists in the group (a finite stale key would
+		// still be above it), which the eager scan's strict < reports as
+		// the (-1, +Inf) sentinel.
+		for {
+			top := members[0]
+			if int(b.at[top]) == n {
+				if d := b.d2[top]; d < math.Inf(1) {
+					return int(top), d
+				}
+				return -1, math.Inf(1)
+			}
+			b.extend(top, n)
+			b.siftDown(members)
+		}
+	}
+	// Sweep resolution: a stale lower bound that cannot beat the best
+	// resolved so far — strictly, or on an exact tie via the smaller index —
+	// is skipped; its true distance is no smaller, so it cannot displace
+	// that best. The previous winner is resolved first: minima move slowly
+	// between consecutive prefix lengths, so seeding the sweep with it
+	// starts the cutoff at (almost always) the true minimum and maximizes
+	// skips. The loop body is the bank's hottest code; slices are hoisted
+	// and the extension inlined so a visit costs little more than the
+	// kernel call it decides about.
+	d2s, ats, q, refs := b.d2, b.at, b.query, b.refs
+	best, bestD := -1, math.Inf(1)
+	work := int64(0)
+	if s := b.seed[g]; s >= 0 {
+		if a := int(ats[s]); a < n {
+			d2s[s] = extendD2(d2s[s], q[a:n], refs[s][a:n])
+			ats[s] = int32(n)
+			work += int64(n - a)
+		}
+		// Adopt the seed only while its distance is finite: the eager
+		// scan's strict < never selects a +Inf or NaN entry, and neither
+		// may the frontier (non-finite stream samples make this reachable).
+		if d := d2s[s]; d < math.Inf(1) {
+			best, bestD = int(s), d
+		}
+	}
+	for _, i := range members {
+		d := d2s[i]
+		a := int(ats[i])
+		if a < n {
+			if d > bestD || (d == bestD && int(i) > best) {
+				continue
+			}
+			d = extendD2(d, q[a:n], refs[i][a:n])
+			d2s[i] = d
+			ats[i] = int32(n)
+			work += int64(n - a)
+		}
+		if d < bestD || (d == bestD && int(i) < best) {
+			best, bestD = int(i), d
+		}
+	}
+	b.work += work
+	b.seed[g] = int32(best)
+	return best, bestD
+}
+
+// Min returns the index and squared distance of the nearest reference
+// across all groups (first index wins ties); (-1, +Inf) for an empty bank.
+// With a single group this is the frontier's drop-in for
+// PrefixDistBank.Min.
+func (b *LazyPrefixDistBank) Min() (index int, d2 float64) {
+	index, d2 = -1, math.Inf(1)
+	for g := range b.groups {
+		i, d := b.GroupMin(g)
+		if i < 0 {
+			continue
+		}
+		if d < d2 || (d == d2 && (index < 0 || i < index)) {
+			index, d2 = i, d
+		}
+	}
+	return index, d2
+}

@@ -1,0 +1,299 @@
+package ts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// frontierRefs builds a reference set with deliberate exact duplicates so
+// first-wins tie-breaking is actually exercised: every third reference is a
+// bit-identical copy of an earlier one.
+func frontierRefs(rng *rand.Rand, n, length int) [][]float64 {
+	refs := make([][]float64, n)
+	for i := range refs {
+		if i >= 2 && i%3 == 2 {
+			refs[i] = refs[i-2] // exact duplicate: forces d² ties at every length
+			continue
+		}
+		r := make([]float64, length)
+		v := 0.0
+		for t := range r {
+			v += rng.NormFloat64() * 0.3
+			r[t] = v
+		}
+		refs[i] = r
+	}
+	return refs
+}
+
+// checkLazyMatchesEager drives a lazy bank and an eager bank over the same
+// query in the given chunking and asserts Min — index and squared distance,
+// byte-for-byte — agrees after every Extend. With groupOf set it also
+// checks every GroupMin against an eager per-group scan.
+func checkLazyMatchesEager(t *testing.T, refs [][]float64, groupOf []int32, groups int, query []float64, chunks []int) {
+	t.Helper()
+	eager := NewPrefixDistBank(refs)
+	var lazy *LazyPrefixDistBank
+	if groupOf == nil {
+		lazy = NewLazyPrefixDistBank(refs)
+	} else {
+		lazy = NewGroupedLazyPrefixDistBank(refs, groupOf, groups)
+	}
+	at, ci := 0, 0
+	for at < len(query) {
+		c := 1
+		if len(chunks) > 0 {
+			c = chunks[ci%len(chunks)]
+			ci++
+		}
+		if c < 1 {
+			c = 1
+		}
+		if at+c > len(query) {
+			c = len(query) - at
+		}
+		eager.Extend(query[at : at+c])
+		lazy.Extend(query[at : at+c])
+		at += c
+
+		wantIdx, wantD2 := eager.Min()
+		gotIdx, gotD2 := lazy.Min()
+		if wantIdx != gotIdx || math.Float64bits(wantD2) != math.Float64bits(gotD2) {
+			t.Fatalf("length %d: lazy Min (%d, %v) != eager (%d, %v)", at, gotIdx, gotD2, wantIdx, wantD2)
+		}
+		if groupOf != nil {
+			d2 := eager.D2()
+			for g := 0; g < groups; g++ {
+				wi, wd := -1, math.Inf(1)
+				for i := range refs {
+					if int(groupOf[i]) == g {
+						if d2[i] < wd {
+							wi, wd = i, d2[i]
+						}
+					}
+				}
+				gi, gd := lazy.GroupMin(g)
+				if wi != gi || math.Float64bits(wd) != math.Float64bits(gd) {
+					t.Fatalf("length %d group %d: lazy GroupMin (%d, %v) != eager (%d, %v)", at, g, gi, gd, wi, wd)
+				}
+			}
+		}
+	}
+}
+
+// forceStrategy pins the frontier's resolution strategy (sweep or heap)
+// for the duration of fn, so both code paths run on identical workloads.
+func forceStrategy(t testing.TB, heap bool, fn func()) {
+	t.Helper()
+	old := frontierSweepMax
+	if heap {
+		frontierSweepMax = 0
+	} else {
+		frontierSweepMax = 1 << 30
+	}
+	defer func() { frontierSweepMax = old }()
+	fn()
+}
+
+// TestLazyBankMatchesEager is the fixed-seed half of the frontier's
+// equivalence battery: random-walk references (with exact-duplicate ties),
+// several chunk patterns, single-group and grouped frontiers, both
+// resolution strategies.
+func TestLazyBankMatchesEager(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		refs := frontierRefs(rng, 13, 80)
+		query := make([]float64, 80)
+		v := 0.0
+		for i := range query {
+			v += rng.NormFloat64() * 0.3
+			query[i] = v
+		}
+		groupOf := make([]int32, len(refs))
+		for i := range groupOf {
+			groupOf[i] = int32(i % 3)
+		}
+		for _, heap := range []bool{false, true} {
+			forceStrategy(t, heap, func() {
+				for _, chunks := range [][]int{{1}, {4}, {1, 3, 7}, {80}} {
+					checkLazyMatchesEager(t, refs, nil, 1, query, chunks)
+					checkLazyMatchesEager(t, refs, groupOf, 3, query, chunks)
+				}
+			})
+		}
+	}
+}
+
+// TestLazyBankMatchesEagerOnSelf drives a query that IS one of the
+// references: its d² stays exactly 0 at every length, the hardest tie
+// regime for the frontier (a permanently-minimal candidate shadowing
+// everything).
+func TestLazyBankMatchesEagerOnSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	refs := frontierRefs(rng, 9, 60)
+	for _, heap := range []bool{false, true} {
+		forceStrategy(t, heap, func() {
+			checkLazyMatchesEager(t, refs, nil, 1, refs[4], []int{1})
+			checkLazyMatchesEager(t, refs, nil, 1, refs[4], []int{5})
+		})
+	}
+}
+
+// TestLazyBankMatchesEagerNonFinite pins the frontier on hostile stream
+// samples — the hub/monitor fuzz contract admits NaN and ±Inf points, which
+// drive accumulators to +Inf or NaN. The eager scan's strict < never
+// selects a non-finite distance (all-non-finite scans yield the (-1, +Inf)
+// sentinel); the frontier must agree in both strategies, including after a
+// finite prefix has already seeded it.
+func TestLazyBankMatchesEagerNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	refs := frontierRefs(rng, 11, 40)
+	specials := []float64{math.Inf(1), math.Inf(-1), math.NaN()}
+	for si, special := range specials {
+		query := make([]float64, 40)
+		for i := range query {
+			query[i] = rng.NormFloat64()
+		}
+		query[7] = special // finite prefix first: the frontier is seeded before the poison arrives
+		if si == 2 {
+			query[0] = special // and one run that is poisoned from the start
+		}
+		groupOf := make([]int32, len(refs))
+		for i := range groupOf {
+			groupOf[i] = int32(i % 2)
+		}
+		for _, heap := range []bool{false, true} {
+			forceStrategy(t, heap, func() {
+				checkLazyMatchesEager(t, refs, nil, 1, query, []int{1})
+				checkLazyMatchesEager(t, refs, groupOf, 2, query, []int{3})
+			})
+		}
+	}
+}
+
+// TestLazyBankEdgeCases pins empty banks, empty groups, zero-length
+// queries, and the overrun panic.
+func TestLazyBankEdgeCases(t *testing.T) {
+	empty := NewLazyPrefixDistBank(nil)
+	if i, d := empty.Min(); i != -1 || !math.IsInf(d, 1) {
+		t.Fatalf("empty bank Min = (%d, %v), want (-1, +Inf)", i, d)
+	}
+	refs := [][]float64{{1, 2, 3}, {0, 0, 0}}
+	g := NewGroupedLazyPrefixDistBank(refs, []int32{1, 1}, 3)
+	if i, d := g.GroupMin(0); i != -1 || !math.IsInf(d, 1) {
+		t.Fatalf("empty group Min = (%d, %v), want (-1, +Inf)", i, d)
+	}
+	g.Extend([]float64{1})
+	if i, _ := g.GroupMin(1); i != 0 {
+		t.Fatalf("group 1 min = %d, want 0", i)
+	}
+	b := NewLazyPrefixDistBank(refs)
+	if i, d := b.Min(); i != 0 || d != 0 {
+		t.Fatalf("zero-length Min = (%d, %v), want (0, 0)", i, d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overrun Extend did not panic")
+		}
+	}()
+	b.Extend([]float64{1, 2, 3, 4})
+}
+
+// TestLazyBankPrunes asserts the frontier actually skips work on a
+// pruning-friendly workload: one near reference, many far ones. The eager
+// cost is Size()·Len() point-extensions; the lazy bank must do strictly
+// less (here, a small fraction).
+func TestLazyBankPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, length = 64, 120
+	refs := make([][]float64, n)
+	for i := range refs {
+		r := make([]float64, length)
+		off := 50.0 // far offset for everything but ref 0
+		if i == 0 {
+			off = 0
+		}
+		for t := range r {
+			r[t] = off + rng.NormFloat64()*0.1
+		}
+		refs[i] = r
+	}
+	query := make([]float64, length)
+	for i := range query {
+		query[i] = rng.NormFloat64() * 0.1
+	}
+	for _, heap := range []bool{false, true} {
+		forceStrategy(t, heap, func() {
+			lazy := NewLazyPrefixDistBank(refs)
+			for i := range query {
+				lazy.Extend(query[i : i+1])
+				lazy.Min()
+			}
+			eagerWork := int64(n * length)
+			if lazy.Work() >= eagerWork/4 {
+				t.Fatalf("heap=%v: frontier did %d point-extensions, want < eager %d / 4",
+					heap, lazy.Work(), eagerWork)
+			}
+		})
+	}
+}
+
+// TestLazyBankExtendMinAllocFree asserts the steady-state zero-allocation
+// contract of the frontier's hot path.
+func TestLazyBankExtendMinAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	rng := rand.New(rand.NewSource(3))
+	refs := frontierRefs(rng, 16, 256)
+	query := make([]float64, 256)
+	for i := range query {
+		query[i] = rng.NormFloat64()
+	}
+	for _, heap := range []bool{false, true} {
+		forceStrategy(t, heap, func() {
+			lazy := NewLazyPrefixDistBank(refs)
+			i := 0
+			allocs := testing.AllocsPerRun(100, func() {
+				lazy.Extend(query[i : i+1])
+				lazy.Min()
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("heap=%v: LazyPrefixDistBank Extend+Min allocated %v per step, want 0", heap, allocs)
+			}
+		})
+	}
+}
+
+// FuzzLazyPrefixDistBank derives a reference set, grouping, query, and
+// chunking from fuzz bytes and asserts the lazy frontier's Min and GroupMin
+// stay byte-identical to the eager bank at every step.
+func FuzzLazyPrefixDistBank(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(30), uint8(2), uint8(3))
+	f.Add(int64(9), uint8(12), uint8(64), uint8(1), uint8(1))
+	f.Add(int64(77), uint8(3), uint8(10), uint8(4), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, nRefs, length, groups, chunk uint8) {
+		n := int(nRefs)%20 + 2
+		l := int(length)%100 + 4
+		g := int(groups)%4 + 1
+		c := int(chunk)%9 + 1
+		rng := rand.New(rand.NewSource(seed))
+		refs := frontierRefs(rng, n, l)
+		query := make([]float64, l)
+		for i := range query {
+			query[i] = rng.NormFloat64()
+		}
+		groupOf := make([]int32, n)
+		for i := range groupOf {
+			groupOf[i] = int32(rng.Intn(g))
+		}
+		for _, heap := range []bool{false, true} {
+			forceStrategy(t, heap, func() {
+				checkLazyMatchesEager(t, refs, nil, 1, query, []int{c})
+				checkLazyMatchesEager(t, refs, groupOf, g, query, []int{c, 1})
+			})
+		}
+	})
+}

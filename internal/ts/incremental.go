@@ -141,10 +141,44 @@ func (p *PrefixDist) ExtendEA(points []float64, cutoff float64) (float64, bool) 
 	return p.d2, true
 }
 
+// extendD2 advances a running squared-distance accumulation over one more
+// segment of points against the aligned reference segment. It is the one
+// batch-extend kernel every prefix-distance path shares — the eager
+// PrefixDistBank, the lazy frontier, and (transitively) everything pinned
+// byte-identical to them — so the summation order is load-bearing: a strict
+// left-to-right fold, one `acc += d*d` per point, exactly the order the
+// plain loop and SquaredEuclidean use. The 4-way unrolling only amortizes
+// loop and bounds-check overhead; it must never introduce partial sums,
+// which would reassociate the floating-point additions and break the
+// bit-identical contract.
+func extendD2(acc float64, points, ref []float64) float64 {
+	if len(ref) < len(points) {
+		panic(fmt.Sprintf("ts: extendD2 reference segment %d shorter than points %d", len(ref), len(points)))
+	}
+	i := 0
+	for ; i+4 <= len(points); i += 4 {
+		d0 := points[i] - ref[i]
+		acc += d0 * d0
+		d1 := points[i+1] - ref[i+1]
+		acc += d1 * d1
+		d2 := points[i+2] - ref[i+2]
+		acc += d2 * d2
+		d3 := points[i+3] - ref[i+3]
+		acc += d3 * d3
+	}
+	for ; i < len(points); i++ {
+		d := points[i] - ref[i]
+		acc += d * d
+	}
+	return acc
+}
+
 // PrefixDistBank tracks the running squared Euclidean distance from one
 // growing query prefix to every series of a fixed reference set (typically
 // a training set). Each Extend costs O(len(refs) · len(points)); the
 // per-series sums are bit-identical to SquaredEuclidean at every length.
+// LazyPrefixDistBank is its pruned counterpart for nearest-neighbour-only
+// consumers.
 type PrefixDistBank struct {
 	refs [][]float64
 	n    int
@@ -177,13 +211,7 @@ func (b *PrefixDistBank) Extend(points []float64) {
 			panic(fmt.Sprintf("ts: PrefixDistBank extension to %d overruns reference %d length %d",
 				b.n+len(points), i, len(ref)))
 		}
-		acc := b.d2[i]
-		seg := ref[b.n : b.n+len(points)]
-		for t, x := range points {
-			d := x - seg[t]
-			acc += d * d
-		}
-		b.d2[i] = acc
+		b.d2[i] = extendD2(b.d2[i], points, ref[b.n:b.n+len(points)])
 	}
 	b.n += len(points)
 }
