@@ -1,0 +1,246 @@
+// Etsc-apisurface prints the exported API surface of the repository's
+// library packages — one normalized line per exported constant, variable,
+// type, field, function, and method — sorted, so two runs can be diffed
+// textually. CI runs it against the working tree and the previous commit
+// and fails when a line disappears: a removed or re-typed export is an API
+// break that must be called out (commit with "[api-break]" in the message
+// to acknowledge one deliberately).
+//
+//	etsc-apisurface [root]
+//
+// root defaults to ".". Only syntax is needed (go/parser, no type
+// checking), so the tool can run over any checkout, buildable or not.
+// Command and example packages (cmd/, examples/) are skipped: package
+// main exports nothing. Struct fields and interface methods count:
+// unexported ones are elided, exported ones are part of the surface.
+// Exported const and var initializers are included too — wire-contract
+// values (error codes, route strings) are behaviour, not formatting.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	lines, err := surface(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "etsc-apisurface:", err)
+		os.Exit(1)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// surface collects the sorted exported-surface lines under root.
+func surface(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		switch d.Name() {
+		case ".git", "testdata", "cmd", "examples":
+			if path != root {
+				return filepath.SkipDir
+			}
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var lines []string
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		for name, pkg := range pkgs {
+			if name == "main" {
+				continue
+			}
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					lines = append(lines, declLines(fset, rel, decl)...)
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	// Dedup (grouped const blocks can repeat a rendered line).
+	out := lines[:0]
+	var prev string
+	for _, l := range lines {
+		if l != prev {
+			out = append(out, l)
+		}
+		prev = l
+	}
+	return out, nil
+}
+
+// declLines renders one top-level declaration's exported surface.
+func declLines(fset *token.FileSet, pkg string, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		recv := ""
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			rt := typeString(fset, d.Recv.List[0].Type)
+			// Methods on unexported types are reachable only through
+			// interfaces; the interface lines cover them.
+			if !exportedReceiver(rt) {
+				return nil
+			}
+			recv = "(" + rt + ") "
+		}
+		return []string{fmt.Sprintf("%s: func %s%s%s", pkg, recv, d.Name.Name, signatureString(fset, d.Type))}
+	case *ast.GenDecl:
+		var out []string
+		for si, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				out = append(out, typeSpecLines(fset, pkg, sp)...)
+			case *ast.ValueSpec:
+				out = append(out, valueSpecLines(fset, pkg, d.Tok.String(), si, sp)...)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedReceiver reports whether a receiver type string names an
+// exported type (stripping any pointer/generic decoration).
+func exportedReceiver(rt string) bool {
+	rt = strings.TrimLeft(rt, "*")
+	return rt != "" && ast.IsExported(strings.SplitN(rt, "[", 2)[0])
+}
+
+// typeSpecLines renders an exported type: its kind line plus one line per
+// exported struct field or interface method, so field-level breaks show
+// up as line removals.
+func typeSpecLines(fset *token.FileSet, pkg string, sp *ast.TypeSpec) []string {
+	if !sp.Name.IsExported() {
+		return nil
+	}
+	name := sp.Name.Name
+	switch t := sp.Type.(type) {
+	case *ast.StructType:
+		lines := []string{fmt.Sprintf("%s: type %s struct", pkg, name)}
+		for _, f := range t.Fields.List {
+			ft := typeString(fset, f.Type)
+			if len(f.Names) == 0 {
+				// Embedded field: exported if its type name is.
+				if exportedReceiver(strings.TrimPrefix(ft, "*")) || ast.IsExported(lastSegment(ft)) {
+					lines = append(lines, fmt.Sprintf("%s: type %s struct { %s }", pkg, name, ft))
+				}
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					lines = append(lines, fmt.Sprintf("%s: type %s struct { %s %s }", pkg, name, fn.Name, ft))
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{fmt.Sprintf("%s: type %s interface", pkg, name)}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				lines = append(lines, fmt.Sprintf("%s: type %s interface { %s }", pkg, name, typeString(fset, m.Type)))
+				continue
+			}
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					ft, ok := m.Type.(*ast.FuncType)
+					if !ok {
+						continue
+					}
+					lines = append(lines, fmt.Sprintf("%s: type %s interface { %s%s }", pkg, name, mn.Name, signatureString(fset, ft)))
+				}
+			}
+		}
+		return lines
+	default:
+		return []string{fmt.Sprintf("%s: type %s %s", pkg, name, typeString(fset, sp.Type))}
+	}
+}
+
+// valueSpecLines renders exported consts and vars, values included. A
+// const spec with no explicit value inherits the group's iota expression,
+// so its *position* in the group is its value: the "#N" suffix makes
+// reordering or inserting members — which renumbers everything after the
+// change — show up as line removals.
+func valueSpecLines(fset *token.FileSet, pkg, kind string, specIdx int, sp *ast.ValueSpec) []string {
+	var out []string
+	for i, n := range sp.Names {
+		if !n.IsExported() {
+			continue
+		}
+		line := fmt.Sprintf("%s: %s %s", pkg, kind, n.Name)
+		if sp.Type != nil {
+			line += " " + typeString(fset, sp.Type)
+		}
+		if i < len(sp.Values) {
+			line += " = " + typeString(fset, sp.Values[i])
+		} else if kind == "const" {
+			line += fmt.Sprintf(" #%d", specIdx)
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// signatureString renders a function type's parameter/result signature.
+func signatureString(fset *token.FileSet, ft *ast.FuncType) string {
+	s := typeString(fset, ft)
+	return strings.TrimPrefix(s, "func")
+}
+
+// typeString prints any expression on one normalized line.
+func typeString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}
+
+// lastSegment returns the identifier after the final dot (pkg.Type → Type).
+func lastSegment(s string) string {
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}

@@ -5,9 +5,15 @@
 // Usage:
 //
 //	etsc-repro [-quick] [-seed N] [-run fig1,fig2,...] [-workers N] [-traincache] [-engine pruned|eager]
+//	etsc-repro -spec ects:support=0 -spec teaser:v=2 [-quick]
 //
 // With no -run flag every experiment runs, in paper order. Output is the
 // text tables recorded in EXPERIMENTS.md.
+//
+// The repeatable -spec flag names classifiers declaratively (see
+// etsc.ParseSpec: "algo:key=value,..." over the registered algorithm
+// names) and evaluates them on the standard GunPoint-like split via the
+// speceval experiment; giving -spec without -run runs only speceval.
 package main
 
 import (
@@ -59,7 +65,26 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for parallel evaluation (0 = NumCPU, 1 = serial; results identical)")
 	traincache := flag.Bool("traincache", false, "train algorithm suites through a shared memoized prefix-distance context (results identical, training faster)")
 	engine := flag.String("engine", "pruned", "inference engine: pruned (lazy NN frontier) or eager (results identical)")
+	var specs []etsc.Spec
+	flag.Func("spec", "classifier spec for the speceval experiment (repeatable; algo:key=value,... — see -listspecs)", func(s string) error {
+		spec, err := etsc.ParseSpec(s)
+		if err != nil {
+			return err
+		}
+		if _, ok := etsc.Lookup(spec.Algo); !ok {
+			return fmt.Errorf("unknown algorithm %q (registered: %s)", spec.Algo, strings.Join(etsc.Algorithms(), ", "))
+		}
+		specs = append(specs, spec)
+		return nil
+	})
+	listSpecs := flag.Bool("listspecs", false, "print the registered algorithms with their spec parameters and exit")
 	flag.Parse()
+	if *listSpecs {
+		for _, line := range etsc.AlgorithmDocs() {
+			fmt.Println(line)
+		}
+		return
+	}
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "etsc-repro: -workers must be >= 0 (0 = NumCPU), got %d\n", *workers)
 		os.Exit(2)
@@ -83,12 +108,30 @@ func main() {
 		{"fig8", "dustbathing template vs truncated template", wrap(experiments.RunFig8)},
 		{"fig9", "prefix-length error sweep on GunPoint", wrap(experiments.RunFig9)},
 		{"appendixb", "deployed monitor economics (FP:TP vs break-even)", wrap(experiments.RunAppendixB)},
+		{"speceval", "declarative -spec suite on the GunPoint split", wrap(func(cfg experiments.Config) (*experiments.SpecEvalResult, error) {
+			return experiments.RunSpecEval(cfg, specs)
+		})},
 	}
 
 	selected := map[string]bool{}
 	if *run != "" {
 		for _, n := range strings.Split(*run, ",") {
 			selected[strings.TrimSpace(strings.ToLower(n))] = true
+		}
+		// Giving -spec always runs the spec evaluation, even when -run
+		// names other experiments; silently dropping it would be worse.
+		if len(specs) > 0 {
+			selected["speceval"] = true
+		}
+	} else if len(specs) > 0 {
+		// -spec without -run means "evaluate exactly these specs".
+		selected["speceval"] = true
+	} else {
+		// The default full paper sweep does not include the ad-hoc runner.
+		for _, r := range all {
+			if r.name != "speceval" {
+				selected[r.name] = true
+			}
 		}
 	}
 

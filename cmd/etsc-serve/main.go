@@ -1,56 +1,71 @@
 // Etsc-serve runs the multi-stream monitoring hub as a service: an HTTP
-// ingest endpoint multiplexing any number of telemetry streams through the
-// shared engine, or — with -streams — a self-contained load generator that
-// drives the hub with synthetic telemetry and reports throughput, ingest
-// latency, and detection tallies.
+// API multiplexing any number of telemetry streams through the shared
+// engine, or — with -streams — a self-contained load generator that
+// drives the hub (in-process, or a remote server via -target) with
+// synthetic telemetry and reports throughput, ingest latency, and
+// detection tallies.
 //
 // Server mode:
 //
 //	go run ./cmd/etsc-serve -addr :8080
-//	curl -X POST --data '0.1 0.4 -0.2 ...' 'localhost:8080/push?stream=coop7&kind=chicken'
-//	curl 'localhost:8080/streams'           # per-stream snapshot
-//	curl 'localhost:8080/stats'             # hub totals
-//	curl 'localhost:8080/detections?stream=coop7'
-//	curl -X POST 'localhost:8080/detach?stream=coop7'
 //
-// Streams attach lazily on first push; the kind query parameter (words,
-// gunpoint, chicken — see hub.DemoKinds) picks the pipeline. The body is
-// whitespace-separated floats, the line protocol a sensor gateway can
-// produce with printf.
+//	# the versioned API (structured JSON errors, explicit registration):
+//	curl -X POST localhost:8080/v1/streams -d '{"id":"coop7","kind":"chicken"}'
+//	curl -X POST localhost:8080/v1/streams/coop7/push -d '{"points":[0.1,0.4,-0.2]}'
+//	curl 'localhost:8080/v1/streams'                       # list + per-stream stats
+//	curl 'localhost:8080/v1/stats'                         # hub totals
+//	curl 'localhost:8080/v1/detections?stream=coop7&since=0'
+//	curl -X DELETE localhost:8080/v1/streams/coop7         # final report
+//
+// Stream registration takes a kind (words, gunpoint, chicken — see
+// hub.DemoKinds) or additionally a declarative classifier spec trained on
+// the kind's dataset, e.g. {"kind":"chicken","spec":"fixedprefix:at=40"}.
+// The unversioned pre-/v1 routes (/push, /stats, /streams, /detections,
+// /detach — text bodies, lazy attach) remain served as frozen aliases.
+//
+// On SIGINT/SIGTERM the server stops accepting requests, drains every
+// stream queue through hub.Close, and prints a final stats line — no
+// batch is lost mid-shutdown.
 //
 // Load-generator mode:
 //
 //	go run ./cmd/etsc-serve -streams 24 -points 20000 -rate 5000 -workers 8
+//	go run ./cmd/etsc-serve -streams 8 -target http://coop-farm:8080
 //
 // runs -streams concurrent pushers round-robined over the three demo
 // kinds, each pushing -points points in -batch sized batches, paced at
-// -rate points/sec per stream (0 = as fast as the hub accepts), then
-// prints aggregate throughput, p50/p99 Push latency, and per-kind
-// detection tallies.
+// -rate points/sec per stream (0 = as fast as accepted), then prints
+// aggregate throughput, p50/p99 push latency, and per-kind detection
+// tallies. Without -target the hub is driven in process; with -target the
+// same workload flows through the typed /v1 client against a remote
+// server.
 //
 // In both modes -traincache warm-starts the demo detectors through shared
 // memoized training contexts (hub.DemoKindsShared): identical pipelines,
 // faster startup — every stream of a kind shares the one trained detector
-// regardless.
+// regardless. -spec kind=algo:key=value,… replaces a kind's detector at
+// startup with one trained from the given registry spec.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"etsc/internal/client"
 	"etsc/internal/etsc"
 	"etsc/internal/hub"
+	"etsc/internal/serve"
 )
 
 func main() {
@@ -64,9 +79,19 @@ func main() {
 		points     = flag.Int("points", 20_000, "load generator: points per stream")
 		batch      = flag.Int("batch", 64, "load generator: points per Push")
 		rate       = flag.Float64("rate", 0, "load generator: points/sec per stream (0 = unthrottled)")
+		target     = flag.String("target", "", "load generator: drive a remote etsc-serve /v1 API at this base URL instead of an in-process hub")
 		traincache = flag.Bool("traincache", false, "warm-start the demo detectors through shared memoized training contexts (identical pipelines, faster startup)")
 		engine     = flag.String("engine", "pruned", "inference engine for every stream pipeline: pruned (lazy NN frontier) or eager (transcripts identical)")
 	)
+	specOverrides := map[string]string{}
+	flag.Func("spec", "replace a kind's detector: kind=algo:key=value,... (repeatable; trained on the kind's dataset)", func(s string) error {
+		kind, spec, ok := strings.Cut(s, "=")
+		if !ok || kind == "" || spec == "" {
+			return fmt.Errorf("want kind=algo:key=value,..., got %q", s)
+		}
+		specOverrides[strings.TrimSpace(kind)] = strings.TrimSpace(spec)
+		return nil
+	})
 	flag.Parse()
 
 	var pol hub.Policy
@@ -81,6 +106,27 @@ func main() {
 	mode, err := etsc.ParseEngineMode(*engine)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *target != "" {
+		if *streams <= 0 {
+			log.Fatal("-target needs -streams > 0 (remote load-generator mode)")
+		}
+		// Pipeline configuration lives on the remote server; refusing
+		// these flags beats silently ignoring them.
+		if len(specOverrides) > 0 || *traincache || mode != etsc.Pruned {
+			log.Fatal("-spec/-traincache/-engine configure local pipelines and do not apply with -target; set them on the remote server instead")
+		}
+		// The remote server owns pipelines and training; only stream
+		// *data* is generated locally, so plain DemoKinds suffices.
+		kinds, err := hub.DemoKinds(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := loadgenRemote(os.Stdout, *target, kinds, *seed, *streams, *points, *batch, *rate); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	// Warm start: every stream of a kind shares one trained detector either
@@ -103,6 +149,23 @@ func main() {
 	for i := range kinds {
 		kinds[i].Config.Engine = mode
 	}
+	// -spec overrides retrain named kinds' detectors through the registry.
+	for i := range kinds {
+		spec, ok := specOverrides[kinds[i].Name]
+		if !ok {
+			continue
+		}
+		clf, err := etsc.TrainSpecString(spec, kinds[i].TrainSet)
+		if err != nil {
+			log.Fatalf("-spec %s=%s: %v", kinds[i].Name, spec, err)
+		}
+		kinds[i].Config.Classifier = clf
+		kinds[i].Spec = etsc.MustParseSpec(spec)
+		delete(specOverrides, kinds[i].Name)
+	}
+	for kind := range specOverrides {
+		log.Fatalf("-spec %s=...: no such kind", kind)
+	}
 	log.Printf("etsc-serve: trained %d demo kinds in %v (traincache=%v engine=%s)",
 		len(kinds), time.Since(trainStart).Round(time.Millisecond), *traincache, mode)
 	h, err := hub.New(hub.Config{Workers: *workers, QueueDepth: *queue, Policy: pol})
@@ -117,173 +180,48 @@ func main() {
 		return
 	}
 
+	srv, err := serve.New(h, kinds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// Graceful shutdown: SIGINT/SIGTERM stops the listener, drains every
+	// stream queue through hub.Close (no batch is dropped mid-shutdown),
+	// and prints a final stats line.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("etsc-serve listening on %s (workers=%d policy=%s kinds=%s)",
-		*addr, *workers, pol, kindNames(kinds))
-	log.Fatal(http.ListenAndServe(*addr, newServer(h, kinds)))
-}
+		*addr, *workers, pol, strings.Join(srv.KindNames(), ","))
 
-func kindNames(kinds []hub.Kind) string {
-	names := make([]string, len(kinds))
-	for i, k := range kinds {
-		names[i] = k.Name
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
 	}
-	return strings.Join(names, ",")
-}
-
-// maxPushBody bounds one /push request's body (~32 MB ≈ 1.5M points as
-// text) so a single client cannot balloon process memory.
-const maxPushBody = 32 << 20
-
-// server is the HTTP face of the hub: lazy stream attachment plus JSON
-// views over Snapshot/Stats/Detections.
-type server struct {
-	hub   *hub.Hub
-	kinds map[string]hub.Kind
-	deflt string
-
-	mu       sync.Mutex
-	attached map[string]bool
-}
-
-func newServer(h *hub.Hub, kinds []hub.Kind) *http.ServeMux {
-	s := &server{hub: h, kinds: map[string]hub.Kind{}, deflt: kinds[0].Name, attached: map[string]bool{}}
-	for _, k := range kinds {
-		s.kinds[k.Name] = k
+	stop()
+	log.Printf("etsc-serve: signal received, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("etsc-serve: http shutdown: %v", err)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/push", s.handlePush)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/streams", s.handleStreams)
-	mux.HandleFunc("/detections", s.handleDetections)
-	mux.HandleFunc("/detach", s.handleDetach)
-	return mux
-}
-
-// ensure lazily attaches id with the pipeline named by kind.
-func (s *server) ensure(id, kind string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.attached[id] {
-		return nil
-	}
-	if kind == "" {
-		kind = s.deflt
-	}
-	k, ok := s.kinds[kind]
-	if !ok {
-		return fmt.Errorf("unknown kind %q (want one of %s)", kind, strings.Join(sortedKeys(s.kinds), ","))
-	}
-	if err := s.hub.Attach(id, k.Config); err != nil {
-		return err
-	}
-	s.attached[id] = true
-	return nil
-}
-
-func sortedKeys(m map[string]hub.Kind) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func (s *server) handlePush(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	id := r.URL.Query().Get("stream")
-	if id == "" {
-		http.Error(w, "missing ?stream=", http.StatusBadRequest)
-		return
-	}
-	// Parse the whole body before touching the hub: a rejected request
-	// must have no side effect (no lazily attached ghost stream). The
-	// body is size-capped so one request cannot balloon process memory.
-	var batch []float64
-	body := http.MaxBytesReader(w, r.Body, maxPushBody)
-	sc := bufio.NewScanner(body)
-	sc.Split(bufio.ScanWords)
-	for sc.Scan() {
-		v, err := strconv.ParseFloat(sc.Text(), 64)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("bad point %q: %v", sc.Text(), err), http.StatusBadRequest)
-			return
-		}
-		batch = append(batch, v)
-	}
-	if err := sc.Err(); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			http.Error(w, fmt.Sprintf("body over %d bytes; split the batch", tooBig.Limit),
-				http.StatusRequestEntityTooLarge)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if err := s.ensure(id, r.URL.Query().Get("kind")); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	err := s.hub.Push(id, batch)
-	switch {
-	case err == nil:
-		writeJSON(w, map[string]any{"stream": id, "queued": len(batch)})
-	case errors.Is(err, hub.ErrDropped):
-		// Backpressure surfaced to the HTTP client as 429.
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusTooManyRequests)
-	default:
-		http.Error(w, err.Error(), http.StatusBadRequest)
-	}
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.hub.Stats())
-}
-
-// handleStreams reads the live snapshot without waiting for queues to
-// drain — under sustained ingest a Flush here would park the handler until
-// producers pause, making monitoring unavailable exactly when it matters.
-func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.hub.Snapshot())
-}
-
-func (s *server) handleDetections(w http.ResponseWriter, r *http.Request) {
-	id := r.URL.Query().Get("stream")
-	dets, err := s.hub.Detections(id)
+	reports, err := h.Close()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
+		log.Fatalf("etsc-serve: hub close: %v", err)
 	}
-	writeJSON(w, map[string]any{"stream": id, "detections": dets})
-}
-
-func (s *server) handleDetach(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
+	var points64, dropped int64
+	var dets, recanted int
+	for _, r := range reports {
+		points64 += r.Stats.Points
+		dropped += r.Stats.DroppedPoints
+		dets += len(r.Detections)
+		recanted += r.Stats.Recanted
 	}
-	id := r.URL.Query().Get("stream")
-	rep, err := s.hub.Detach(id)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
-	}
-	s.mu.Lock()
-	delete(s.attached, id)
-	s.mu.Unlock()
-	writeJSON(w, rep)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("etsc-serve: encode: %v", err)
-	}
+	log.Printf("etsc-serve: drained %d streams — %d points processed, %d dropped, %d detections (%d recanted)",
+		len(reports), points64, dropped, dets, recanted)
 }
 
 // loadgen drives the hub with synthetic streams and reports capacity.
@@ -304,13 +242,94 @@ func loadgen(w *os.File, h *hub.Hub, kinds []hub.Kind, seed int64, streams, poin
 		}
 	}
 
+	res := driveStreams(gens, batchSize, rate, func(g hub.DemoStream, batch []float64) error {
+		return h.Push(g.ID, batch)
+	})
+	h.Flush()
+	ingestWall := time.Since(res.start)
+
+	reports, err := h.Close()
+	if err != nil {
+		return err
+	}
+	printLoadReport(w, kinds, res, ingestWall, reports)
+	return nil
+}
+
+// loadgenRemote is loadgen over the wire: the same demo workload pushed
+// through the typed /v1 client against a running etsc-serve at base.
+func loadgenRemote(w *os.File, base string, kinds []hub.Kind, seed int64, streams, points, batchSize int, rate float64) error {
+	if batchSize <= 0 {
+		return fmt.Errorf("etsc-serve: -batch must be > 0, got %d", batchSize)
+	}
+	fmt.Fprintf(w, "remote load generator → %s: %d streams × %d points, batch=%d, rate=%s\n",
+		base, streams, points, batchSize, rateLabel(rate))
+
+	c, err := client.New(base)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	gens, err := hub.DemoStreams(kinds, seed, streams, points)
+	if err != nil {
+		return err
+	}
+	for _, g := range gens {
+		if _, err := c.CreateStream(ctx, client.CreateStreamRequest{ID: g.ID, Kind: g.Kind}); err != nil {
+			return fmt.Errorf("register %s: %w", g.ID, err)
+		}
+	}
+
+	res := driveStreams(gens, batchSize, rate, func(g hub.DemoStream, batch []float64) error {
+		_, err := c.Push(ctx, g.ID, batch)
+		if err != nil && !client.IsBackpressure(err) {
+			// Only backpressure is a countable rejection; anything else
+			// (connection loss, unknown stream) must abort the run, not
+			// masquerade as drops in the report.
+			return fmt.Errorf("%w: %s: %v", errPushFatal, g.ID, err)
+		}
+		return err
+	})
+	if res.err != nil {
+		return res.err
+	}
+	ingestWall := time.Since(res.start)
+
+	// Detach every stream for its final report — the remote equivalent of
+	// hub.Close's drain.
+	reports := make([]hub.StreamReport, 0, len(gens))
+	for _, g := range gens {
+		rep, err := c.DeleteStream(ctx, g.ID)
+		if err != nil {
+			return fmt.Errorf("detach %s: %w", g.ID, err)
+		}
+		reports = append(reports, rep)
+	}
+	printLoadReport(w, kinds, res, ingestWall, reports)
+	return nil
+}
+
+// errPushFatal marks a push failure that should abort the load run
+// instead of counting as a backpressure rejection.
+var errPushFatal = errors.New("etsc-serve: load generator push failed")
+
+// loadResult aggregates what the pushers measured.
+type loadResult struct {
+	start     time.Time
+	latencies []time.Duration
+	rejected  int
+	total     int64
+	err       error // first errPushFatal-wrapped failure, if any
+}
+
+// driveStreams runs one goroutine per stream, pushing batches through
+// push with optional pacing, and aggregates latencies and tallies.
+func driveStreams(gens []hub.DemoStream, batchSize int, rate float64, push func(hub.DemoStream, []float64) error) loadResult {
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		dropped   int
-		total     int64
+		mu  sync.Mutex
+		res loadResult
 	)
-	start := time.Now()
+	res.start = time.Now()
 	var wg sync.WaitGroup
 	for _, g := range gens {
 		wg.Add(1)
@@ -322,7 +341,7 @@ func loadgen(w *os.File, h *hub.Hub, kinds []hub.Kind, seed int64, streams, poin
 			}
 			next := time.Now()
 			local := make([]time.Duration, 0, len(g.Data)/batchSize+1)
-			drops := 0
+			rejected := 0
 			var pushed int64
 			for off := 0; off < len(g.Data); off += batchSize {
 				end := off + batchSize
@@ -336,29 +355,37 @@ func loadgen(w *os.File, h *hub.Hub, kinds []hub.Kind, seed int64, streams, poin
 					next = next.Add(interval)
 				}
 				t0 := time.Now()
-				err := h.Push(g.ID, g.Data[off:end])
+				err := push(g, g.Data[off:end])
 				local = append(local, time.Since(t0))
+				if errors.Is(err, errPushFatal) {
+					mu.Lock()
+					if res.err == nil {
+						res.err = err
+					}
+					mu.Unlock()
+					break
+				}
 				if err != nil {
-					drops++
+					rejected++
 					continue
 				}
 				pushed += int64(end - off)
 			}
 			mu.Lock()
-			latencies = append(latencies, local...)
-			dropped += drops
-			total += pushed
+			res.latencies = append(res.latencies, local...)
+			res.rejected += rejected
+			res.total += pushed
 			mu.Unlock()
 		}(g)
 	}
 	wg.Wait()
-	h.Flush()
-	ingestWall := time.Since(start)
+	return res
+}
 
-	reports, err := h.Close()
-	if err != nil {
-		return err
-	}
+// printLoadReport renders throughput, latency percentiles, and per-kind
+// tallies. With an empty sample set (every push rejected, or zero
+// streams) it reports n=0 instead of misleading zero percentiles.
+func printLoadReport(w *os.File, kinds []hub.Kind, res loadResult, ingestWall time.Duration, reports []hub.StreamReport) {
 	perKind := map[string]*struct{ streams, dets, recanted, points int }{}
 	for _, r := range reports {
 		kind := strings.SplitN(r.ID, "-", 2)[0]
@@ -373,13 +400,27 @@ func loadgen(w *os.File, h *hub.Hub, kinds []hub.Kind, seed int64, streams, poin
 		pk.points += r.Stats.Position
 	}
 
-	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	secs := ingestWall.Seconds()
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(res.total) / secs
+	}
 	fmt.Fprintf(w, "ingested %d points in %v — %.0f points/sec aggregate\n",
-		total, ingestWall.Round(time.Millisecond), float64(total)/ingestWall.Seconds())
-	fmt.Fprintf(w, "push latency: p50=%v p99=%v max=%v (%d pushes, %d rejected)\n",
-		percentile(latencies, 0.50), percentile(latencies, 0.99),
-		percentile(latencies, 1.0), len(latencies), dropped)
-	for _, kind := range sortedKeys(kindMap(kinds)) {
+		res.total, ingestWall.Round(time.Millisecond), rate)
+	sort.Slice(res.latencies, func(a, b int) bool { return res.latencies[a] < res.latencies[b] })
+	if len(res.latencies) == 0 {
+		fmt.Fprintf(w, "push latency: n=0 (no pushes sampled; %d rejected)\n", res.rejected)
+	} else {
+		fmt.Fprintf(w, "push latency: p50=%v p99=%v max=%v (%d pushes, %d rejected)\n",
+			percentile(res.latencies, 0.50), percentile(res.latencies, 0.99),
+			percentile(res.latencies, 1.0), len(res.latencies), res.rejected)
+	}
+	names := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		names = append(names, k.Name)
+	}
+	sort.Strings(names)
+	for _, kind := range names {
 		pk := perKind[kind]
 		if pk == nil {
 			continue
@@ -387,15 +428,6 @@ func loadgen(w *os.File, h *hub.Hub, kinds []hub.Kind, seed int64, streams, poin
 		fmt.Fprintf(w, "kind %-9s %2d streams, %7d points, %5d detections (%d recanted)\n",
 			kind, pk.streams, pk.points, pk.dets, pk.recanted)
 	}
-	return nil
-}
-
-func kindMap(kinds []hub.Kind) map[string]hub.Kind {
-	m := map[string]hub.Kind{}
-	for _, k := range kinds {
-		m[k.Name] = k
-	}
-	return m
 }
 
 func rateLabel(rate float64) string {
@@ -405,10 +437,18 @@ func rateLabel(rate float64) string {
 	return fmt.Sprintf("%.0f pts/sec/stream", rate)
 }
 
+// percentile reads the q-quantile of an ascending-sorted sample; callers
+// must handle the empty case (printLoadReport reports n=0).
 func percentile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
 	i := int(float64(len(sorted)-1) * q)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
 	return sorted[i]
 }

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"etsc/internal/hub"
+	"etsc/internal/serve"
 )
 
 // TestServerRoundTrip drives the HTTP face end to end: lazy attach on
@@ -25,7 +26,11 @@ func TestServerRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(h, kinds))
+	handler, err := serve.New(h, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
 	defer srv.Close()
 
 	// Render a real chicken stream so the pipeline has something to chew.
@@ -162,5 +167,52 @@ func TestLoadgenSmoke(t *testing.T) {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("loadgen report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestLoadgenRemoteSmoke drives the same tiny workload through the typed
+// /v1 client against an in-process server — the -target path end to end.
+func TestLoadgenRemoteSmoke(t *testing.T) {
+	kinds, err := hub.DemoKinds(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hub.New(hub.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, err := serve.New(h, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	tmp, err := os.Create(filepath.Join(t.TempDir(), "loadgen-remote.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := loadgenRemote(tmp, srv.URL, kinds, 3, 3, 3000, 64, 0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"remote load generator", "points/sec aggregate", "push latency", "kind chicken"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("remote loadgen report missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPercentileEmpty pins the empty-sample guard: no panic, zero value.
+func TestPercentileEmpty(t *testing.T) {
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
 	}
 }

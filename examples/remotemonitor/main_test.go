@@ -1,0 +1,38 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunQuick exercises the whole remote walkthrough — in-process /v1
+// server, typed client, cursor polling, final reports — at -quick size so
+// `go test ./...` covers the example end to end.
+func TestRunQuick(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"etsc-serve up at http://127.0.0.1:",
+		"registered coop-stock",
+		"spec=probthreshold:threshold=0.95,minprefix=12",
+		"final coop-stock",
+		"final coop-custom",
+		"hub totals:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunWritesNothingToStdout guards the refactor: everything goes
+// through the writer, so the example stays capturable.
+func TestRunWritesNothingToStdout(t *testing.T) {
+	if err := run(io.Discard, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Client is a typed client for one etsc-serve `/v1` endpoint. The zero
+// value is not usable; construct with New. Methods are safe for
+// concurrent use (the underlying http.Client is).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, tracing, test
+// round-trippers). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the server at base (e.g. "http://coop7:8080").
+// The /v1 prefix is implied; do not include it.
+func New(base string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL %q: %w", base, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q needs an http(s) scheme", base)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// CreateStream registers a stream (POST /v1/streams) and returns its
+// initial description. A duplicate id fails with CodeDuplicateStream.
+func (c *Client) CreateStream(ctx context.Context, req CreateStreamRequest) (StreamInfo, error) {
+	var out StreamInfo
+	err := c.do(ctx, http.MethodPost, "/v1/streams", req, &out)
+	return out, err
+}
+
+// Push ingests one batch of points (POST /v1/streams/{id}/push). A full
+// queue under the Drop policy fails with CodeBackpressure
+// (IsBackpressure); the batch was not applied and may be retried whole.
+func (c *Client) Push(ctx context.Context, id string, points []float64) (PushResponse, error) {
+	var out PushResponse
+	err := c.do(ctx, http.MethodPost, "/v1/streams/"+url.PathEscape(id)+"/push", PushRequest{Points: points}, &out)
+	return out, err
+}
+
+// Streams lists every registered stream with live stats (GET /v1/streams).
+func (c *Client) Streams(ctx context.Context) ([]StreamInfo, error) {
+	var out StreamList
+	if err := c.do(ctx, http.MethodGet, "/v1/streams", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Streams, nil
+}
+
+// Stream fetches one stream's description (GET /v1/streams/{id}).
+func (c *Client) Stream(ctx context.Context, id string) (StreamInfo, error) {
+	var out StreamInfo
+	err := c.do(ctx, http.MethodGet, "/v1/streams/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// Stats fetches hub-wide totals (GET /v1/stats).
+func (c *Client) Stats(ctx context.Context) (Totals, error) {
+	var out Totals
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Detections fetches a stream's settled detections from the since cursor
+// onward (GET /v1/detections?stream=ID&since=N). Poll with the returned
+// Next to consume the transcript incrementally: each detection arrives
+// exactly once, with its final Recanted flag (see DetectionsPage).
+func (c *Client) Detections(ctx context.Context, id string, since int) (DetectionsPage, error) {
+	var out DetectionsPage
+	q := url.Values{"stream": {id}, "since": {strconv.Itoa(since)}}
+	err := c.do(ctx, http.MethodGet, "/v1/detections?"+q.Encode(), nil, &out)
+	return out, err
+}
+
+// DeleteStream detaches a stream (DELETE /v1/streams/{id}), returning its
+// final report: complete stats plus the full detection transcript.
+func (c *Client) DeleteStream(ctx context.Context, id string) (StreamReport, error) {
+	var out StreamReport
+	err := c.do(ctx, http.MethodDelete, "/v1/streams/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// do runs one request: JSON-encode body (when non-nil), decode the
+// response into out on 2xx, decode the structured error envelope into an
+// *APIError otherwise.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode %s %s: %w", method, path, err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *APIError, preserving the
+// structured code when the body carries the envelope and falling back to
+// the raw body text otherwise (proxies, legacy routes).
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		ae := env.Error
+		ae.Status = resp.StatusCode
+		return &ae
+	}
+	return &APIError{
+		Status:  resp.StatusCode,
+		Code:    CodeInternal,
+		Message: strings.TrimSpace(string(raw)),
+	}
+}
+
+// asAPIError unwraps err into an *APIError.
+func asAPIError(err error, target **APIError) bool {
+	return errors.As(err, target)
+}

@@ -1,0 +1,66 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestNewValidatesBase(t *testing.T) {
+	for _, bad := range []string{"://", "ftp://host", "host:8080"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	c, err := New("http://host:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.base != "http://host:8080" {
+		t.Errorf("base %q not trimmed", c.base)
+	}
+}
+
+// TestErrorDecoding pins the two error shapes the client can meet: the
+// structured /v1 envelope (typed code preserved) and a plain-text body
+// from a proxy or legacy route (CodeInternal fallback).
+func TestErrorDecoding(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/streams/typed/push":
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"backpressure","message":"queue full"}}`)
+		default:
+			http.Error(w, "plain text failure", http.StatusBadGateway)
+		}
+	}))
+	defer srv.Close()
+	c, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = c.Push(context.Background(), "typed", []float64{1})
+	if !IsBackpressure(err) {
+		t.Fatalf("want backpressure, got %v", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests || ae.Message != "queue full" {
+		t.Fatalf("typed error %+v", ae)
+	}
+
+	_, err = c.Stats(context.Background())
+	if !IsCode(err, CodeInternal) {
+		t.Fatalf("want internal fallback, got %v", err)
+	}
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadGateway || ae.Message != "plain text failure" {
+		t.Fatalf("fallback error %+v", ae)
+	}
+	if IsBackpressure(nil) || IsCode(errors.New("x"), CodeInternal) {
+		t.Error("code predicates match non-API errors")
+	}
+}

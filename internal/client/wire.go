@@ -1,0 +1,155 @@
+// Package client is the typed Go client for the etsc-serve `/v1` wire
+// protocol, and the single source of truth for that protocol's request,
+// response, and error shapes: internal/serve marshals exactly these
+// structs, so server and client cannot drift apart.
+//
+// Versioning contract (see DESIGN.md §Layer 8): within `/v1`, changes are
+// additive only — new endpoints, new optional request fields, new response
+// fields. Renaming or removing a field, changing a type, or changing an
+// error code's meaning requires a new version prefix (`/v2`) served
+// alongside `/v1`. Unversioned legacy routes (`/push`, `/stats`, …) are
+// frozen aliases kept for pre-`/v1` clients.
+package client
+
+import (
+	"fmt"
+
+	"etsc/internal/hub"
+	"etsc/internal/stream"
+)
+
+// ErrorCode is a machine-readable error identifier. Codes are part of the
+// wire contract: clients may switch on them, so codes are never renamed or
+// reused within a protocol version.
+type ErrorCode string
+
+// The /v1 error codes.
+const (
+	// CodeBadJSON — the request body is not syntactically valid JSON.
+	CodeBadJSON ErrorCode = "bad_json"
+	// CodeBadRequest — a parameter or field value is invalid.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeUnknownKind — the named stream kind is not served.
+	CodeUnknownKind ErrorCode = "unknown_kind"
+	// CodeBadSpec — the classifier spec failed to parse or train.
+	CodeBadSpec ErrorCode = "bad_spec"
+	// CodeUnknownStream — the stream id is not registered.
+	CodeUnknownStream ErrorCode = "unknown_stream"
+	// CodeDuplicateStream — the stream id is already registered.
+	CodeDuplicateStream ErrorCode = "duplicate_stream"
+	// CodeBackpressure — the stream's queue is full under the Drop
+	// policy; retry after the drain catches up (HTTP 429 + Retry-After).
+	CodeBackpressure ErrorCode = "backpressure"
+	// CodeMethodNotAllowed — the path exists but not with this method.
+	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	// CodeNotFound — no such /v1 endpoint.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeTooLarge — the request body exceeds the per-request cap.
+	CodeTooLarge ErrorCode = "too_large"
+	// CodeClosed — the hub is shutting down.
+	CodeClosed ErrorCode = "closed"
+	// CodeInternal — unexpected server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// APIError is the structured error body every /v1 endpoint returns on
+// failure, wrapped in ErrorEnvelope. It doubles as the error type the
+// typed client returns, with Status carrying the HTTP status code.
+type APIError struct {
+	Status  int       `json:"-"`
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("etsc-serve: %s (http %d): %s", e.Code, e.Status, e.Message)
+}
+
+// ErrorEnvelope is the wire shape of an error response:
+// {"error":{"code":"...","message":"..."}}.
+type ErrorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+// IsCode reports whether err is an *APIError with the given code.
+func IsCode(err error, code ErrorCode) bool {
+	var ae *APIError
+	ok := asAPIError(err, &ae)
+	return ok && ae.Code == code
+}
+
+// IsBackpressure reports whether err is the hub rejecting a batch under
+// the Drop policy (HTTP 429) — the one error a pusher is expected to
+// handle by backing off and retrying.
+func IsBackpressure(err error) bool { return IsCode(err, CodeBackpressure) }
+
+// CreateStreamRequest registers a stream (POST /v1/streams). Exactly the
+// per-stream pipeline configuration: a served kind names the defaults, an
+// optional classifier spec (etsc.ParseSpec form) retrains the detector
+// against the kind's training set, and the remaining fields override the
+// kind's monitor knobs. Nil pointer fields mean "kind default".
+type CreateStreamRequest struct {
+	ID string `json:"id"`
+	// Kind names the served stream family (GET /v1/streams lists them via
+	// the server's kinds); empty selects the server's default kind.
+	Kind string `json:"kind,omitempty"`
+	// Spec, when set, replaces the kind's classifier: an etsc registry
+	// spec ("algo:key=value,...") trained on the kind's training set.
+	Spec string `json:"spec,omitempty"`
+	// Engine selects the inference engine: "pruned" (default) or "eager".
+	Engine string `json:"engine,omitempty"`
+	// Stride/Step/Suppress override the kind's monitor geometry.
+	Stride   *int `json:"stride,omitempty"`
+	Step     *int `json:"step,omitempty"`
+	Suppress *int `json:"suppress,omitempty"`
+}
+
+// StreamInfo is one registered stream's description and live stats.
+type StreamInfo struct {
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind"`
+	Spec   string          `json:"spec"`
+	Engine string          `json:"engine"`
+	Stats  hub.StreamStats `json:"stats"`
+}
+
+// StreamList is GET /v1/streams, sorted by stream id.
+type StreamList struct {
+	Streams []StreamInfo `json:"streams"`
+}
+
+// PushRequest is the batch-ingest body (POST /v1/streams/{id}/push).
+type PushRequest struct {
+	Points []float64 `json:"points"`
+}
+
+// PushResponse acknowledges an accepted batch.
+type PushResponse struct {
+	Stream string `json:"stream"`
+	Queued int    `json:"queued"`
+}
+
+// DetectionsPage is GET /v1/detections?stream=ID&since=N: the *settled*
+// detections with index >= since — those whose Recanted flag is final
+// (their full window has been verified, or the stream has no verifier) —
+// plus the cursor to pass as the next `since`. The settled prefix is
+// append-only and immutable, so polling with the returned Next yields
+// each detection exactly once, in order, in its final state. Total counts
+// the whole live transcript; entries in (Next, Total] are still awaiting
+// full-window verification and arrive on a later poll or in the
+// DELETE-time final report.
+type DetectionsPage struct {
+	Stream     string             `json:"stream"`
+	Since      int                `json:"since"`
+	Next       int                `json:"next"`
+	Total      int                `json:"total"`
+	Detections []stream.Detection `json:"detections"`
+}
+
+// StreamReport is the final state DELETE /v1/streams/{id} returns; the
+// alias pins hub.StreamReport's shape into the wire contract.
+type StreamReport = hub.StreamReport
+
+// Totals is GET /v1/stats; the alias pins hub.Totals into the contract.
+type Totals = hub.Totals

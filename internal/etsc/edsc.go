@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"etsc/internal/dataset"
 	"etsc/internal/par"
@@ -90,8 +91,31 @@ type EDSC struct {
 }
 
 // NewEDSC mines and selects shapelets from train.
+//
+// Deprecated: use [Train] with an "edsc" Spec — e.g.
+// Train(MustParseSpec("edsc:method=kde"), train). This wrapper is pinned
+// byte-identical to the registry path by the registry-equivalence battery.
 func NewEDSC(train *dataset.Dataset, cfg EDSCConfig) (*EDSC, error) {
-	return newEDSC(train, cfg, 1)
+	c, err := Train(Spec{Algo: AlgoEDSC, Params: edscParams(cfg)}, train)
+	if err != nil {
+		return nil, err
+	}
+	return c.(*EDSC), nil
+}
+
+// edscParams renders a legacy config as registry spec parameters.
+func edscParams(cfg EDSCConfig) map[string]any {
+	return map[string]any{
+		"method":       strings.ToLower(cfg.Method.String()),
+		"minlen":       cfg.MinLen,
+		"maxlen":       cfg.MaxLen,
+		"lenstep":      cfg.LenStep,
+		"stride":       cfg.StartStride,
+		"maxseries":    cfg.MaxSeries,
+		"chek":         cfg.CHEK,
+		"kdeodds":      cfg.KDEOdds,
+		"maxshapelets": cfg.MaxShapelets,
+	}
 }
 
 // NewEDSCWith is NewEDSC over a shared TrainContext. EDSC's training cost
@@ -101,8 +125,14 @@ func NewEDSC(train *dataset.Dataset, cfg EDSCConfig) (*EDSC, error) {
 // per slot — fans across it. Candidates are assembled in enumeration order,
 // so the selected shapelet set is byte-identical to NewEDSC for any worker
 // count.
+//
+// Deprecated: use [Train] with an "edsc" Spec and [WithTrainContext].
 func NewEDSCWith(c *TrainContext, cfg EDSCConfig) (*EDSC, error) {
-	return newEDSC(c.train, cfg, c.workers)
+	clf, err := Train(Spec{Algo: AlgoEDSC, Params: edscParams(cfg)}, nil, WithTrainContext(c))
+	if err != nil {
+		return nil, err
+	}
+	return clf.(*EDSC), nil
 }
 
 func newEDSC(train *dataset.Dataset, cfg EDSCConfig, workers int) (*EDSC, error) {

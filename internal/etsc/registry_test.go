@@ -1,0 +1,376 @@
+package etsc
+
+import (
+	"encoding/json"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"etsc/internal/dataset"
+)
+
+// specPair names one algorithm variant three ways: its registry spec (flag
+// form) and the two legacy constructor flavors it must match.
+type specPair struct {
+	name   string
+	spec   string
+	direct func(train *dataset.Dataset) (EarlyClassifier, error)
+	with   func(c *TrainContext) (EarlyClassifier, error)
+}
+
+// specPairs covers every registered algorithm, including the variants
+// whose training paths differ (relaxed ECTS, KDE thresholds, pooled
+// RelClass, raw-prefix TEASER) — the spec-side mirror of trainerPairs.
+func specPairs(d *dataset.Dataset) []specPair {
+	edscCHE := batteryEDSCConfig(CHE, d)
+	edscKDE := batteryEDSCConfig(KDE, d)
+	return []specPair{
+		{"ECTS", "ects:relaxed=false,support=0",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewECTS(d, false, 0) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewECTSWith(c, false, 0) }},
+		{"RelaxedECTS", "ects:relaxed=true,support=1",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewECTS(d, true, 1) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewECTSWith(c, true, 1) }},
+		{"EDSC-CHE", specFromEDSC(edscCHE),
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewEDSC(d, edscCHE) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewEDSCWith(c, edscCHE) }},
+		{"EDSC-KDE", specFromEDSC(edscKDE),
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewEDSC(d, edscKDE) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewEDSCWith(c, edscKDE) }},
+		{"RelClass", "relclass:tau=0.1,pooled=false,samples=64,minstd=0.35,seed=5,minprefix=10",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewRelClass(d, DefaultRelClassConfig(false)) },
+			func(c *TrainContext) (EarlyClassifier, error) {
+				return NewRelClassWith(c, DefaultRelClassConfig(false))
+			}},
+		{"LDG-RelClass", "relclass:tau=0.1,pooled=true,samples=64,minstd=0.35,seed=5,minprefix=10",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewRelClass(d, DefaultRelClassConfig(true)) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewRelClassWith(c, DefaultRelClassConfig(true)) }},
+		{"ECDIRE", "ecdire:acc=0.9,snapshots=20,sharpness=3",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewECDIRE(d, DefaultECDIREConfig()) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewECDIREWith(c, DefaultECDIREConfig()) }},
+		{"CostAware", "costaware:misclass=1,delay=0.5,snapshots=20",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewCostAware(d, DefaultCostAwareConfig()) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewCostAwareWith(c, DefaultCostAwareConfig()) }},
+		{"TEASER", "teaser:snapshots=20,v=3,znorm=true,sigma=2.5",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewTEASER(d, DefaultTEASERConfig()) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewTEASERWith(c, DefaultTEASERConfig()) }},
+		{"TEASER-raw", "teaser:snapshots=20,v=3,znorm=false,sigma=2.5",
+			func(d *dataset.Dataset) (EarlyClassifier, error) {
+				cfg := DefaultTEASERConfig()
+				cfg.ZNormPrefix = false
+				return NewTEASER(d, cfg)
+			},
+			func(c *TrainContext) (EarlyClassifier, error) {
+				cfg := DefaultTEASERConfig()
+				cfg.ZNormPrefix = false
+				return NewTEASERWith(c, cfg)
+			}},
+		{"ProbThreshold", "probthreshold:threshold=0.8,minprefix=5",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewProbThreshold(d, 0.8, 5) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewProbThresholdWith(c, 0.8, 5) }},
+		{"FixedPrefix", "fixedprefix:at=20,znorm=true",
+			func(d *dataset.Dataset) (EarlyClassifier, error) { return NewFixedPrefix(d, 20, true) },
+			func(c *TrainContext) (EarlyClassifier, error) { return NewFixedPrefixWith(c, 20, true) }},
+	}
+}
+
+// specFromEDSC renders the battery EDSC config in spec form, exercising
+// the full parameter surface of the edsc builder.
+func specFromEDSC(cfg EDSCConfig) string {
+	return Spec{Algo: AlgoEDSC, Params: edscParams(cfg)}.String()
+}
+
+// TestRegistryEquivalenceBattery is the registry's core contract:
+// Train(spec, …) is byte-identical — decisions and posteriors,
+// prefix-for-prefix, in both engine modes — to every legacy New*/New*With
+// constructor, for workers ∈ {1, 4, GOMAXPROCS}. One shared TrainContext
+// per worker count keeps cross-trainer cache reuse under test.
+func TestRegistryEquivalenceBattery(t *testing.T) {
+	train, test := easySplit(t)
+	pairs := specPairs(train)
+
+	// Legacy direct models, trained once each.
+	direct := make([]EarlyClassifier, len(pairs))
+	for pi, p := range pairs {
+		c, err := p.direct(train)
+		if err != nil {
+			t.Fatalf("%s direct: %v", p.name, err)
+		}
+		direct[pi] = c
+	}
+
+	for _, p := range pairs {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			pi := indexOfPair(pairs, p.name)
+			spec, err := ParseSpec(p.spec)
+			if err != nil {
+				t.Fatalf("ParseSpec(%q): %v", p.spec, err)
+			}
+
+			// Spec-trained, no options: must equal the legacy direct path.
+			got, err := Train(spec, train)
+			if err != nil {
+				t.Fatalf("Train(%q): %v", p.spec, err)
+			}
+			assertSpecEquivalent(t, p.name+"/direct", direct[pi], got, test)
+
+			for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				// Spec-trained with a worker bound: Train builds its own
+				// context; must equal the legacy paths.
+				got, err := Train(spec, train, WithWorkers(workers))
+				if err != nil {
+					t.Fatalf("Train(%q, workers=%d): %v", p.spec, workers, err)
+				}
+				assertSpecEquivalent(t, p.name+"/workers", direct[pi], got, test)
+
+				// Spec-trained over a shared caller context: must equal the
+				// legacy With path over the same context.
+				ctx, err := NewTrainContext(train, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				legacy, err := p.with(ctx)
+				if err != nil {
+					t.Fatalf("%s with(workers=%d): %v", p.name, workers, err)
+				}
+				got, err = Train(spec, nil, WithTrainContext(ctx))
+				if err != nil {
+					t.Fatalf("Train(%q, ctx workers=%d): %v", p.spec, workers, err)
+				}
+				assertSpecEquivalent(t, p.name+"/ctx", legacy, got, test)
+			}
+		})
+	}
+}
+
+func indexOfPair(pairs []specPair, name string) int {
+	for i, p := range pairs {
+		if p.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// assertSpecEquivalent compares two models decision-for-decision and
+// posterior-for-posterior: incremental sessions in both engine modes on a
+// few exemplars (every step), the RunOne commitment triple on every test
+// exemplar, and PosteriorPrefix maps (when implemented) bit-for-bit.
+func assertSpecEquivalent(t *testing.T, name string, want, got EarlyClassifier, test *dataset.Dataset) {
+	t.Helper()
+	if want.FullLength() != got.FullLength() {
+		t.Fatalf("%s: full length %d != %d", name, got.FullLength(), want.FullLength())
+	}
+	full := want.FullLength()
+	const step = 3
+	wpp, wok := want.(PosteriorProvider)
+	gpp, gok := got.(PosteriorProvider)
+	if wok != gok {
+		t.Fatalf("%s: posterior support differs: legacy %v, spec %v", name, wok, gok)
+	}
+	for i, in := range test.Instances {
+		if i < 2 {
+			for _, mode := range []EngineMode{Pruned, Eager} {
+				ws := OpenSessionMode(want, mode)
+				gs := OpenSessionMode(got, mode)
+				prev := 0
+				for l := step; l <= full; l += step {
+					dw := ws.Extend(in.Series[prev:l])
+					dg := gs.Extend(in.Series[prev:l])
+					if dw != dg {
+						t.Fatalf("%s instance %d mode=%s length %d: legacy %+v != spec %+v",
+							name, i, mode, l, dw, dg)
+					}
+					prev = l
+				}
+			}
+			if wok {
+				for l := step; l <= full; l += step {
+					pw := wpp.PosteriorPrefix(in.Series[:l])
+					pg := gpp.PosteriorPrefix(in.Series[:l])
+					assertSamePosterior(t, name, i, l, pw, pg)
+				}
+			}
+		}
+		wl, wn, wf := RunOne(want, in.Series, 4)
+		gl, gn, gf := RunOne(got, in.Series, 4)
+		if wl != gl || wn != gn || wf != gf {
+			t.Fatalf("%s instance %d: legacy (label=%d len=%d forced=%v) != spec (label=%d len=%d forced=%v)",
+				name, i, wl, wn, wf, gl, gn, gf)
+		}
+	}
+}
+
+// assertSamePosterior requires bit-identical posterior maps.
+func assertSamePosterior(t *testing.T, name string, inst, l int, want, got map[int]float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s instance %d length %d: posterior sizes %d != %d", name, inst, l, len(got), len(want))
+	}
+	for k, wv := range want {
+		gv, ok := got[k]
+		if !ok || math.Float64bits(wv) != math.Float64bits(gv) {
+			t.Fatalf("%s instance %d length %d class %d: posterior %v != %v", name, inst, l, k, gv, wv)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("ects:support=0.0, relaxed=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Algo != "ects" || spec.Params["support"] != 0.0 || spec.Params["relaxed"] != true {
+		t.Fatalf("parsed %+v", spec)
+	}
+	if spec, err = ParseSpec("TEASER"); err != nil || spec.Algo != "teaser" || spec.Params != nil {
+		t.Fatalf("bare algo parsed %+v, %v", spec, err)
+	}
+	if spec, err = ParseSpec("edsc:method=kde"); err != nil || spec.Params["method"] != "kde" {
+		t.Fatalf("string param parsed %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"", ":a=1", "ects:support", "ects:=3"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSpecRoundTrip pins the two serialized forms: flag string and JSON.
+func TestSpecRoundTrip(t *testing.T) {
+	orig := MustParseSpec("relclass:tau=0.1,pooled=true,samples=64,minprefix=10")
+	// Flag form: String then ParseSpec reproduces the spec.
+	back, err := ParseSpec(orig.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != orig.String() {
+		t.Fatalf("flag round-trip %q != %q", back.String(), orig.String())
+	}
+	// JSON form.
+	raw, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromJSON Spec
+	if err := json.Unmarshal(raw, &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.String() != orig.String() {
+		t.Fatalf("JSON round-trip %q != %q (raw %s)", fromJSON.String(), orig.String(), raw)
+	}
+	// The two serialized forms train identical models.
+	train, test := easySplit(t)
+	a, err := Train(orig, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(fromJSON, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSpecEquivalent(t, "json-roundtrip", a, b, test)
+}
+
+func TestTrainErrors(t *testing.T) {
+	train, _ := easySplit(t)
+	if _, err := Train(Spec{Algo: "nope"}, train); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Errorf("unknown algorithm: %v", err)
+	}
+	if _, err := Train(MustParseSpec("ects:suport=1"), train); err == nil || !strings.Contains(err.Error(), "unknown ects parameter") {
+		t.Errorf("unknown parameter: %v", err)
+	}
+	if _, err := Train(MustParseSpec("ects:relaxed=3"), train); err == nil {
+		t.Error("bad parameter type accepted")
+	}
+	if _, err := Train(MustParseSpec("ects:support=0.5"), train); err == nil {
+		t.Error("fractional int accepted")
+	}
+	if _, err := Train(MustParseSpec("edsc:method=nope"), train); err == nil {
+		t.Error("bad edsc method accepted")
+	}
+	if _, err := Train(MustParseSpec("ects"), nil); err == nil {
+		t.Error("nil training set accepted")
+	}
+	ctx, err := NewTrainContext(train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := smallGunPointSplit(t)
+	if _, err := Train(MustParseSpec("ects"), other, WithTrainContext(ctx)); err == nil {
+		t.Error("mismatched train/context accepted")
+	}
+}
+
+// TestWithSeed pins the seed option's precedence: the spec parameter wins,
+// the option is the default, and the builder default is the fallback.
+func TestWithSeed(t *testing.T) {
+	train, test := easySplit(t)
+	viaOption, err := Train(MustParseSpec("relclass"), train, WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRelClassConfig(false)
+	cfg.Seed = 99
+	legacy, err := NewRelClass(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSpecEquivalent(t, "seed-option", legacy, viaOption, test)
+
+	viaParam, err := Train(MustParseSpec("relclass:seed=5"), train, WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deflt, err := NewRelClass(train, DefaultRelClassConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSpecEquivalent(t, "seed-param-wins", deflt, viaParam, test)
+}
+
+func TestRegistryRegister(t *testing.T) {
+	if err := Register(Builder{Name: "", Build: nil}); err == nil {
+		t.Error("anonymous builder accepted")
+	}
+	if err := Register(Builder{Name: "ects", Build: func(*dataset.Dataset, *Params, *Options) (EarlyClassifier, error) {
+		return nil, nil
+	}}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	algos := Algorithms()
+	want := []string{"costaware", "ecdire", "ects", "edsc", "fixedprefix", "probthreshold", "relclass", "teaser"}
+	if len(algos) != len(want) {
+		t.Fatalf("Algorithms() = %v, want %v", algos, want)
+	}
+	for i := range want {
+		if algos[i] != want[i] {
+			t.Fatalf("Algorithms() = %v, want %v", algos, want)
+		}
+	}
+	if docs := AlgorithmDocs(); len(docs) != len(want) || !strings.HasPrefix(docs[2], "ects — ") {
+		t.Errorf("AlgorithmDocs() = %v", docs)
+	}
+}
+
+// TestOptionsAccessors covers the Options surface consumers read back.
+func TestOptionsAccessors(t *testing.T) {
+	train, _ := easySplit(t)
+	o := NewOptions()
+	if o.Workers() != 1 || o.Engine() != Pruned || o.TrainContext() != nil || o.SeedOr(7) != 7 {
+		t.Errorf("zero options: workers=%d engine=%v ctx=%v seed=%d", o.Workers(), o.Engine(), o.TrainContext(), o.SeedOr(7))
+	}
+	ctx, err := NewTrainContext(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o = NewOptions(WithTrainContext(ctx), WithEngine(Eager), WithSeed(11))
+	if o.Workers() != 3 || o.Engine() != Eager || o.TrainContext() != ctx || o.SeedOr(7) != 11 {
+		t.Errorf("options: workers=%d engine=%v seed=%d", o.Workers(), o.Engine(), o.SeedOr(7))
+	}
+	if o = NewOptions(WithWorkers(8), WithTrainContext(ctx)); o.Workers() != 8 {
+		t.Errorf("explicit workers: %d", o.Workers())
+	}
+}

@@ -68,12 +68,40 @@ func DefaultRelClassConfig(pooled bool) RelClassConfig {
 // memoized matrix and delegates to the direct path; the constructor exists
 // so the whole suite trains through one context-driven API. Trivially
 // byte-identical to NewRelClass.
+//
+// Deprecated: use [Train] with a "relclass" Spec and [WithTrainContext].
 func NewRelClassWith(c *TrainContext, cfg RelClassConfig) (*RelClass, error) {
-	return NewRelClass(c.train, cfg)
+	clf, err := Train(Spec{Algo: AlgoRelClass, Params: relClassParams(cfg)}, nil, WithTrainContext(c))
+	if err != nil {
+		return nil, err
+	}
+	return clf.(*RelClass), nil
 }
 
 // NewRelClass fits the model to train.
+//
+// Deprecated: use [Train] with a "relclass" Spec — e.g.
+// Train(MustParseSpec("relclass:tau=0.1,pooled=false"), train). This
+// wrapper is pinned byte-identical to the registry path by the
+// registry-equivalence battery.
 func NewRelClass(train *dataset.Dataset, cfg RelClassConfig) (*RelClass, error) {
+	c, err := Train(Spec{Algo: AlgoRelClass, Params: relClassParams(cfg)}, train)
+	if err != nil {
+		return nil, err
+	}
+	return c.(*RelClass), nil
+}
+
+// relClassParams renders a legacy config as registry spec parameters.
+func relClassParams(cfg RelClassConfig) map[string]any {
+	return map[string]any{
+		"tau": cfg.Tau, "pooled": cfg.Pooled, "samples": cfg.Samples,
+		"minstd": cfg.MinStd, "seed": cfg.Seed, "minprefix": cfg.MinPrefix,
+	}
+}
+
+// trainRelClass is the direct fitting path behind the registry.
+func trainRelClass(train *dataset.Dataset, cfg RelClassConfig) (*RelClass, error) {
 	if train == nil || train.Len() < 2 {
 		return nil, errors.New("etsc: RelClass needs at least 2 training instances")
 	}

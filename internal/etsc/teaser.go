@@ -78,7 +78,39 @@ func (g oneClassGate) accept(top, margin float64) bool {
 }
 
 // NewTEASER trains the snapshot classifiers and masters.
+//
+// Deprecated: use [Train] with a "teaser" Spec — e.g.
+// Train(MustParseSpec("teaser:snapshots=20,v=3,znorm=true"), train). This
+// wrapper is pinned byte-identical to the registry path by the
+// registry-equivalence battery.
 func NewTEASER(train *dataset.Dataset, cfg TEASERConfig) (*TEASER, error) {
+	c, err := Train(Spec{Algo: AlgoTEASER, Params: teaserParams(cfg)}, train)
+	if err != nil {
+		return nil, err
+	}
+	return c.(*TEASER), nil
+}
+
+// NewTEASERWith is NewTEASER over a shared TrainContext.
+//
+// Deprecated: use [Train] with a "teaser" Spec and [WithTrainContext].
+func NewTEASERWith(c *TrainContext, cfg TEASERConfig) (*TEASER, error) {
+	clf, err := Train(Spec{Algo: AlgoTEASER, Params: teaserParams(cfg)}, nil, WithTrainContext(c))
+	if err != nil {
+		return nil, err
+	}
+	return clf.(*TEASER), nil
+}
+
+// teaserParams renders a legacy config as registry spec parameters.
+func teaserParams(cfg TEASERConfig) map[string]any {
+	return map[string]any{
+		"snapshots": cfg.Snapshots, "v": cfg.V, "znorm": cfg.ZNormPrefix, "sigma": cfg.GateSigma,
+	}
+}
+
+// trainTEASER is the direct (serial) training path behind the registry.
+func trainTEASER(train *dataset.Dataset, cfg TEASERConfig) (*TEASER, error) {
 	t, cfg, err := teaserSetup(train, cfg)
 	if err != nil {
 		return nil, err
@@ -102,7 +134,7 @@ func NewTEASER(train *dataset.Dataset, cfg TEASERConfig) (*TEASER, error) {
 	return t, nil
 }
 
-// NewTEASERWith is NewTEASER over a shared TrainContext: the per-snapshot
+// trainTEASERCtx is trainTEASER over a shared TrainContext: the per-snapshot
 // truncated training sets come from the context's prefix cache (computed
 // once and shared with every trainer that touches the same lengths), and
 // the per-snapshot leave-one-out slave scans — the dominant
@@ -112,7 +144,7 @@ func NewTEASER(train *dataset.Dataset, cfg TEASERConfig) (*TEASER, error) {
 // model is byte-identical to NewTEASER for any worker count: matrix entries
 // equal the direct SquaredEuclidean over the same cached prefixes, and the
 // gate statistics are assembled in instance order.
-func NewTEASERWith(c *TrainContext, cfg TEASERConfig) (*TEASER, error) {
+func trainTEASERCtx(c *TrainContext, cfg TEASERConfig) (*TEASER, error) {
 	t, cfg, err := teaserSetup(c.train, cfg)
 	if err != nil {
 		return nil, err

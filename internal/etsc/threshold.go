@@ -33,7 +33,22 @@ type ProbThreshold struct {
 // NewProbThreshold builds the model. threshold is the user's commitment
 // probability (the paper's example uses 0.8); minPrefix guards against
 // trivial commitments on the first couple of points.
+//
+// Deprecated: use [Train] with a "probthreshold" Spec — e.g.
+// Train(MustParseSpec("probthreshold:threshold=0.8,minprefix=10"), train).
+// This wrapper is pinned byte-identical to the registry path by the
+// registry-equivalence battery.
 func NewProbThreshold(train *dataset.Dataset, threshold float64, minPrefix int) (*ProbThreshold, error) {
+	c, err := Train(Spec{Algo: AlgoProbThreshold, Params: map[string]any{
+		"threshold": threshold, "minprefix": minPrefix}}, train)
+	if err != nil {
+		return nil, err
+	}
+	return c.(*ProbThreshold), nil
+}
+
+// trainProbThreshold is the direct construction path behind the registry.
+func trainProbThreshold(train *dataset.Dataset, threshold float64, minPrefix int) (*ProbThreshold, error) {
 	if train == nil || train.Len() < 2 {
 		return nil, errors.New("etsc: ProbThreshold needs at least 2 training instances")
 	}
@@ -64,8 +79,16 @@ func NewProbThreshold(train *dataset.Dataset, threshold float64, minPrefix int) 
 // set, so it takes nothing from the memoized matrix and delegates to the
 // direct path; the constructor exists so the whole suite trains through one
 // context-driven API. Trivially byte-identical to NewProbThreshold.
+//
+// Deprecated: use [Train] with a "probthreshold" Spec and
+// [WithTrainContext].
 func NewProbThresholdWith(c *TrainContext, threshold float64, minPrefix int) (*ProbThreshold, error) {
-	return NewProbThreshold(c.train, threshold, minPrefix)
+	clf, err := Train(Spec{Algo: AlgoProbThreshold, Params: map[string]any{
+		"threshold": threshold, "minprefix": minPrefix}}, nil, WithTrainContext(c))
+	if err != nil {
+		return nil, err
+	}
+	return clf.(*ProbThreshold), nil
 }
 
 // Name implements EarlyClassifier.
@@ -211,7 +234,22 @@ type FixedPrefix struct {
 }
 
 // NewFixedPrefix builds the baseline.
+//
+// Deprecated: use [Train] with a "fixedprefix" Spec — e.g.
+// Train(MustParseSpec("fixedprefix:at=20,znorm=true"), train). This wrapper
+// is pinned byte-identical to the registry path by the
+// registry-equivalence battery.
 func NewFixedPrefix(train *dataset.Dataset, at int, znorm bool) (*FixedPrefix, error) {
+	c, err := Train(Spec{Algo: AlgoFixedPrefix, Params: map[string]any{
+		"at": at, "znorm": znorm}}, train)
+	if err != nil {
+		return nil, err
+	}
+	return c.(*FixedPrefix), nil
+}
+
+// trainFixedPrefix is the direct construction path behind the registry.
+func trainFixedPrefix(train *dataset.Dataset, at int, znorm bool) (*FixedPrefix, error) {
 	if train == nil || train.Len() == 0 {
 		return nil, errors.New("etsc: FixedPrefix needs training data")
 	}
@@ -225,13 +263,25 @@ func NewFixedPrefix(train *dataset.Dataset, at int, znorm bool) (*FixedPrefix, e
 	return &FixedPrefix{At: at, ZNorm: znorm, train: train, prefix: pre, full: train.SeriesLen()}, nil
 }
 
-// NewFixedPrefixWith is NewFixedPrefix over a shared TrainContext: the
+// NewFixedPrefixWith is NewFixedPrefix over a shared TrainContext.
+//
+// Deprecated: use [Train] with a "fixedprefix" Spec and [WithTrainContext].
+func NewFixedPrefixWith(c *TrainContext, at int, znorm bool) (*FixedPrefix, error) {
+	clf, err := Train(Spec{Algo: AlgoFixedPrefix, Params: map[string]any{
+		"at": at, "znorm": znorm}}, nil, WithTrainContext(c))
+	if err != nil {
+		return nil, err
+	}
+	return clf.(*FixedPrefix), nil
+}
+
+// trainFixedPrefixCtx is trainFixedPrefix over a shared TrainContext: the
 // prepared training prefixes come from the context's truncation cache, so
 // N FixedPrefix models at the same decision length (the hub's warm-start
 // shape) share one prepared set instead of truncating and re-normalizing N
 // times. Byte-identical to NewFixedPrefix: the cache stores exactly
 // train.Truncate's output.
-func NewFixedPrefixWith(c *TrainContext, at int, znorm bool) (*FixedPrefix, error) {
+func trainFixedPrefixCtx(c *TrainContext, at int, znorm bool) (*FixedPrefix, error) {
 	train := c.train
 	if train.Len() == 0 {
 		return nil, errors.New("etsc: FixedPrefix needs training data")

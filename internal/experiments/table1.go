@@ -55,40 +55,14 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	builds := []suiteBuild{
-		{true,
-			func() (etsc.EarlyClassifier, error) { return etsc.NewECTS(train, false, 0) },
-			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) { return etsc.NewECTSWith(tc, false, 0) }},
-		{true,
-			func() (etsc.EarlyClassifier, error) { return etsc.NewECTS(train, true, 0) },
-			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) { return etsc.NewECTSWith(tc, true, 0) }},
-		{true,
-			func() (etsc.EarlyClassifier, error) { return etsc.NewEDSC(train, etsc.DefaultEDSCConfig(etsc.CHE)) },
-			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
-				return etsc.NewEDSCWith(tc, etsc.DefaultEDSCConfig(etsc.CHE))
-			}},
-		{true,
-			func() (etsc.EarlyClassifier, error) { return etsc.NewEDSC(train, etsc.DefaultEDSCConfig(etsc.KDE)) },
-			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
-				return etsc.NewEDSCWith(tc, etsc.DefaultEDSCConfig(etsc.KDE))
-			}},
-		{true,
-			func() (etsc.EarlyClassifier, error) {
-				return etsc.NewRelClass(train, etsc.DefaultRelClassConfig(false))
-			},
-			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
-				return etsc.NewRelClassWith(tc, etsc.DefaultRelClassConfig(false))
-			}},
-		{true,
-			func() (etsc.EarlyClassifier, error) { return etsc.NewRelClass(train, etsc.DefaultRelClassConfig(true)) },
-			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
-				return etsc.NewRelClassWith(tc, etsc.DefaultRelClassConfig(true))
-			}},
-		{false,
-			func() (etsc.EarlyClassifier, error) { return etsc.NewTEASER(train, etsc.DefaultTEASERConfig()) },
-			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
-				return etsc.NewTEASERWith(tc, etsc.DefaultTEASERConfig())
-			}},
+	builds := []suiteSpec{
+		{true, etsc.MustParseSpec("ects:relaxed=false,support=0")},
+		{true, etsc.MustParseSpec("ects:relaxed=true,support=0")},
+		{true, etsc.MustParseSpec("edsc:method=che")},
+		{true, etsc.MustParseSpec("edsc:method=kde")},
+		{true, etsc.MustParseSpec("relclass:pooled=false")},
+		{true, etsc.MustParseSpec("relclass:pooled=true")},
+		{false, etsc.MustParseSpec("teaser")},
 	}
 
 	res := &Table1Result{MaxShift: maxShift}
@@ -100,7 +74,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 	}
 
 	for _, b := range builds {
-		c, err := b.train(tc)
+		c, err := b.train(train, tc)
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +132,7 @@ func (r *Table1Result) Table() string {
 }
 
 // trainContext returns the shared training context when cfg asks for one
-// (nil otherwise — the direct-training sentinel suiteBuild.train checks).
+// (nil otherwise — the direct-training sentinel suiteSpec.train checks).
 func trainContext(cfg Config, train *dataset.Dataset) (*etsc.TrainContext, error) {
 	if !cfg.TrainCache {
 		return nil, nil
@@ -166,21 +140,23 @@ func trainContext(cfg Config, train *dataset.Dataset) (*etsc.TrainContext, error
 	return etsc.NewTrainContext(train, cfg.Parallelism)
 }
 
-// suiteBuild is one algorithm of a Table 1 suite with both training paths.
-type suiteBuild struct {
+// suiteSpec is one algorithm of a Table 1 suite, named declaratively: the
+// registry spec replaces the old per-algorithm constructor switch, so the
+// suites and every spec-driven CLI describe classifiers the same way.
+type suiteSpec struct {
 	flawed bool
-	direct func() (etsc.EarlyClassifier, error)
-	shared func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error)
+	spec   etsc.Spec
 }
 
-// train picks the path: shared context when one was built, direct
-// otherwise. Models are identical either way (the etsc train-equivalence
-// battery and TestTable1TrainCacheIdentical pin this).
-func (b suiteBuild) train(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
+// train builds the spec through etsc.Train: over the shared context when
+// one was built, directly otherwise. Models are identical either way (the
+// registry-equivalence battery and TestTable1TrainCacheIdentical pin
+// this).
+func (b suiteSpec) train(train *dataset.Dataset, tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
 	if tc != nil {
-		return b.shared(tc)
+		return etsc.Train(b.spec, train, etsc.WithTrainContext(tc))
 	}
-	return b.direct()
+	return etsc.Train(b.spec, train)
 }
 
 // gunPointSplit builds the standard GunPoint-like train/test split used by

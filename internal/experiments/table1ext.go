@@ -42,37 +42,17 @@ func RunTable1Extended(cfg Config) (*Table1ExtResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rawTeaser := etsc.DefaultTEASERConfig()
-	rawTeaser.ZNormPrefix = false
-	builds := []suiteBuild{
-		{true,
-			func() (etsc.EarlyClassifier, error) { return etsc.NewProbThreshold(train, 0.8, 10) },
-			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
-				return etsc.NewProbThresholdWith(tc, 0.8, 10)
-			}},
-		{true,
-			func() (etsc.EarlyClassifier, error) { return etsc.NewCostAware(train, etsc.DefaultCostAwareConfig()) },
-			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
-				return etsc.NewCostAwareWith(tc, etsc.DefaultCostAwareConfig())
-			}},
-		{true,
-			func() (etsc.EarlyClassifier, error) { return etsc.NewECDIRE(train, etsc.DefaultECDIREConfig()) },
-			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
-				return etsc.NewECDIREWith(tc, etsc.DefaultECDIREConfig())
-			}},
-		{true,
-			func() (etsc.EarlyClassifier, error) { return etsc.NewTEASER(train, rawTeaser) },
-			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) { return etsc.NewTEASERWith(tc, rawTeaser) }},
-		{false,
-			func() (etsc.EarlyClassifier, error) { return etsc.NewTEASER(train, etsc.DefaultTEASERConfig()) },
-			func(tc *etsc.TrainContext) (etsc.EarlyClassifier, error) {
-				return etsc.NewTEASERWith(tc, etsc.DefaultTEASERConfig())
-			}},
+	builds := []suiteSpec{
+		{true, etsc.MustParseSpec("probthreshold:threshold=0.8,minprefix=10")},
+		{true, etsc.MustParseSpec("costaware")},
+		{true, etsc.MustParseSpec("ecdire")},
+		{true, etsc.MustParseSpec("teaser:znorm=false")},
+		{false, etsc.MustParseSpec("teaser")},
 	}
 
 	res := &Table1ExtResult{MaxShift: maxShift}
 	for _, b := range builds {
-		c, err := b.train(tc)
+		c, err := b.train(train, tc)
 		if err != nil {
 			return nil, err
 		}

@@ -149,8 +149,28 @@ type hubStream struct {
 	stats    StreamStats
 	dets     []stream.Detection
 	pend     []int // indices into dets awaiting full-window verification
+	settled  int   // prefix of dets whose Recanted flags are committed-final
 	tail     []float64
 	tailAt   int // stream position of tail[0]
+}
+
+// settledBoundLocked computes the settled prefix length: every detection
+// before it is final — not awaiting its window (pend) and not in a taken
+// verification batch whose flags have yet to be committed (inflight).
+// Caller holds s.mu.
+func (s *hubStream) settledBoundLocked(inflight []verifyJob) int {
+	bound := len(s.dets)
+	for _, di := range s.pend {
+		if di < bound {
+			bound = di
+		}
+	}
+	for _, j := range inflight {
+		if j.di < bound {
+			bound = j.di
+		}
+	}
+	return bound
 }
 
 // New builds a hub. The zero Config is usable: NumCPU workers, queue depth
@@ -356,6 +376,9 @@ func (s *hubStream) applyBatch(batch []float64) {
 		}
 		s.stats.Detections = len(s.dets)
 		s.stats.PendingVerify = len(s.pend)
+		// Taken jobs commit their flags after the lock is released, so
+		// the settled prefix must not advance past them yet.
+		s.settled = s.settledBoundLocked(jobs)
 	}()
 	s.runVerifications(jobs)
 }
@@ -433,6 +456,7 @@ func (s *hubStream) runVerifications(jobs []verifyJob) {
 			s.stats.Recanted++
 		}
 	}
+	s.settled = s.settledBoundLocked(nil)
 }
 
 // waitDrainedLocked blocks until the stream's queue is empty and no drain
@@ -571,15 +595,27 @@ func (h *Hub) Stats() Totals {
 // (or at Detach/Close); PendingVerify in the stream's stats counts the
 // unsettled ones.
 func (h *Hub) Detections(id string) ([]stream.Detection, error) {
+	dets, _, err := h.DetectionsSettled(id)
+	return dets, err
+}
+
+// DetectionsSettled is Detections plus the length of the transcript's
+// settled prefix: every detection before it has its final Recanted flag
+// and can never change again, while later entries still await full-window
+// verification. Cursor-style consumers (the /v1 detections endpoint) page
+// only the settled prefix so each detection is observed exactly once, in
+// its final state. Streams without a verifier settle immediately, so
+// settled == len(dets) for them.
+func (h *Hub) DetectionsSettled(id string) (dets []stream.Detection, settled int, err error) {
 	h.mu.Lock()
 	s, ok := h.streams[id]
 	h.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownStream, id)
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownStream, id)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]stream.Detection(nil), s.dets...), nil
+	return append([]stream.Detection(nil), s.dets...), s.settled, nil
 }
 
 // Reference is the serial oracle the hub's determinism contract points at:

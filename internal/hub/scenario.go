@@ -22,6 +22,13 @@ import (
 type Kind struct {
 	Name   string
 	Config StreamConfig
+	// Spec is the declarative description the kind's classifier was
+	// trained from (the registry path); the serving API reports it and
+	// retrains per-stream overrides against TrainSet.
+	Spec etsc.Spec
+	// TrainSet is the kind's training data. It is shared and read-only:
+	// per-stream spec overrides train new classifiers against it.
+	TrainSet *dataset.Dataset
 	// Gen renders one stream of at least minLen points; distinct streams
 	// of a kind use distinct rngs.
 	Gen func(rng *rand.Rand, minLen int) ([]float64, error)
@@ -46,20 +53,18 @@ type trainMode struct {
 	workers int
 }
 
-// trainVia trains one kind's detector through the mode: the direct
-// constructor, or the context-driven one over a fresh shared TrainContext
-// for the kind's training set when warm-starting.
-func trainVia[T etsc.EarlyClassifier](tm trainMode, train *dataset.Dataset,
-	direct func() (T, error), with func(*etsc.TrainContext) (T, error)) (T, error) {
+// trainVia trains one kind's detector from its registry spec: directly, or
+// through a fresh shared TrainContext for the kind's training set when
+// warm-starting.
+func trainVia(tm trainMode, spec etsc.Spec, train *dataset.Dataset) (etsc.EarlyClassifier, error) {
 	if !tm.shared {
-		return direct()
+		return etsc.Train(spec, train)
 	}
 	ctx, err := etsc.NewTrainContext(train, tm.workers)
 	if err != nil {
-		var zero T
-		return zero, err
+		return nil, err
 	}
-	return with(ctx)
+	return etsc.Train(spec, train, etsc.WithTrainContext(ctx))
 }
 
 // DemoKinds trains the three demo stream kinds:
@@ -114,11 +119,8 @@ func wordsKind(seed int64, tm trainMode) (Kind, error) {
 	if err != nil {
 		return Kind{}, err
 	}
-	clf, err := trainVia(tm, train,
-		func() (*etsc.TEASER, error) { return etsc.NewTEASER(train, etsc.DefaultTEASERConfig()) },
-		func(ctx *etsc.TrainContext) (*etsc.TEASER, error) {
-			return etsc.NewTEASERWith(ctx, etsc.DefaultTEASERConfig())
-		})
+	spec := etsc.MustParseSpec("teaser")
+	clf, err := trainVia(tm, spec, train)
 	if err != nil {
 		return Kind{}, err
 	}
@@ -127,7 +129,9 @@ func wordsKind(seed int64, tm trainMode) (Kind, error) {
 		return Kind{}, err
 	}
 	return Kind{
-		Name: "words",
+		Name:     "words",
+		Spec:     spec,
+		TrainSet: train,
 		Config: StreamConfig{
 			Classifier: clf,
 			Stride:     4,
@@ -159,11 +163,8 @@ func gunpointKind(seed int64, tm trainMode) (Kind, error) {
 	if err != nil {
 		return Kind{}, err
 	}
-	clf, err := trainVia(tm, train,
-		func() (*etsc.ProbThreshold, error) { return etsc.NewProbThreshold(train, 0.9, 20) },
-		func(ctx *etsc.TrainContext) (*etsc.ProbThreshold, error) {
-			return etsc.NewProbThresholdWith(ctx, 0.9, 20)
-		})
+	spec := etsc.MustParseSpec("probthreshold:threshold=0.9,minprefix=20")
+	clf, err := trainVia(tm, spec, train)
 	if err != nil {
 		return Kind{}, err
 	}
@@ -175,7 +176,9 @@ func gunpointKind(seed int64, tm trainMode) (Kind, error) {
 	}
 	full := clf.FullLength()
 	return Kind{
-		Name: "gunpoint",
+		Name:     "gunpoint",
+		Spec:     spec,
+		TrainSet: train,
 		Config: StreamConfig{
 			Classifier: clf,
 			Stride:     8,
@@ -205,20 +208,17 @@ func chickenKind(seed int64, tm trainMode) (Kind, error) {
 	if err != nil {
 		return Kind{}, err
 	}
-	clf, err := trainVia(tm, train,
-		func() (*etsc.FixedPrefix, error) {
-			return etsc.NewFixedPrefix(train, synth.DustbathingTemplateLen/2, true)
-		},
-		func(ctx *etsc.TrainContext) (*etsc.FixedPrefix, error) {
-			return etsc.NewFixedPrefixWith(ctx, synth.DustbathingTemplateLen/2, true)
-		})
+	spec := etsc.MustParseSpec(fmt.Sprintf("fixedprefix:at=%d,znorm=true", synth.DustbathingTemplateLen/2))
+	clf, err := trainVia(tm, spec, train)
 	if err != nil {
 		return Kind{}, err
 	}
 	streamCfg := ccfg
 	streamCfg.DustbathProb = 0.08
 	return Kind{
-		Name: "chicken",
+		Name:     "chicken",
+		Spec:     spec,
+		TrainSet: train,
 		Config: StreamConfig{
 			Classifier: clf,
 			Stride:     8,
@@ -235,6 +235,7 @@ func chickenKind(seed int64, tm trainMode) (Kind, error) {
 // DemoStream pairs a ready-to-attach stream with its rendered telemetry.
 type DemoStream struct {
 	ID     string
+	Kind   string // name of the Kind the stream was rendered from
 	Config StreamConfig
 	Data   []float64
 }
@@ -252,7 +253,7 @@ func DemoStreams(kinds []Kind, seed int64, n, minLen int) ([]DemoStream, error) 
 		if err != nil {
 			return nil, err
 		}
-		out[i] = DemoStream{ID: DemoStreamID(k.Name, i), Config: k.Config, Data: data}
+		out[i] = DemoStream{ID: DemoStreamID(k.Name, i), Kind: k.Name, Config: k.Config, Data: data}
 	}
 	return out, nil
 }

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"etsc/internal/client"
+	"etsc/internal/hub"
+)
+
+// newTestServer builds a hub + server over the demo kinds and returns the
+// typed client pointed at it.
+func newTestServer(t *testing.T, hubCfg hub.Config, kinds []hub.Kind) (*hub.Hub, *client.Client, *httptest.Server) {
+	t.Helper()
+	h, err := hub.New(hubCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(h, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, c, ts
+}
+
+// demoKinds returns the seed-3 demo kinds, trained once per test binary:
+// kinds are read-only after construction (Attach copies the StreamConfig),
+// so every test can share them.
+var demoKindsOnce = sync.OnceValues(func() ([]hub.Kind, error) { return hub.DemoKinds(3) })
+
+func demoKinds(t *testing.T) []hub.Kind {
+	t.Helper()
+	kinds, err := demoKindsOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kinds
+}
+
+// TestV1EndToEndMatchesReference drives the full /v1 surface through the
+// typed client — register, batch ingest, stats, cursor-paged detections,
+// delete — for six streams over the three demo kinds, and pins every
+// stream's final transcript equal to the serial hub.Reference oracle:
+// serving over HTTP adds transport, not behaviour.
+func TestV1EndToEndMatchesReference(t *testing.T) {
+	kinds := demoKinds(t)
+	h, c, _ := newTestServer(t, hub.Config{Workers: 4}, kinds)
+	ctx := context.Background()
+
+	const nStreams, minLen = 6, 2400
+	gens, err := hub.DemoStreams(kinds, 3, nStreams, minLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kindOf := map[string]hub.Kind{}
+	for _, k := range kinds {
+		kindOf[k.Name] = k
+	}
+
+	for i, g := range gens {
+		kindName := kinds[i%len(kinds)].Name
+		info, err := c.CreateStream(ctx, client.CreateStreamRequest{ID: g.ID, Kind: kindName})
+		if err != nil {
+			t.Fatalf("create %s: %v", g.ID, err)
+		}
+		if info.ID != g.ID || info.Kind != kindName || info.Spec != kindOf[kindName].Spec.String() {
+			t.Fatalf("create %s: info %+v", g.ID, info)
+		}
+	}
+
+	// Batched ingest with per-stream seeded batch sizes, interleaved
+	// round-robin so streams genuinely overlap in the pool.
+	offsets := make([]int, len(gens))
+	rngs := make([]*rand.Rand, len(gens))
+	for i := range gens {
+		rngs[i] = rand.New(rand.NewSource(int64(100 + i)))
+	}
+	var total int
+	for {
+		progressed := false
+		for i, g := range gens {
+			if offsets[i] >= len(g.Data) {
+				continue
+			}
+			progressed = true
+			n := 1 + rngs[i].Intn(127)
+			if offsets[i]+n > len(g.Data) {
+				n = len(g.Data) - offsets[i]
+			}
+			resp, err := c.Push(ctx, g.ID, g.Data[offsets[i]:offsets[i]+n])
+			if err != nil {
+				t.Fatalf("push %s: %v", g.ID, err)
+			}
+			if resp.Queued != n {
+				t.Fatalf("push %s: queued %d, want %d", g.ID, resp.Queued, n)
+			}
+			offsets[i] += n
+			total += n
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	h.Flush()
+	totals, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Streams != nStreams || totals.Points != int64(total) {
+		t.Fatalf("stats %+v, want %d streams / %d points", totals, nStreams, total)
+	}
+	streams, err := c.Streams(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != nStreams {
+		t.Fatalf("Streams() returned %d entries, want %d", len(streams), nStreams)
+	}
+
+	for i, g := range gens {
+		kind := kinds[i%len(kinds)]
+
+		// Cursor pagination over the settled prefix, then verify the
+		// cursor is exhausted (no new data → no new settles).
+		first, err := c.Detections(ctx, g.ID, 0)
+		if err != nil {
+			t.Fatalf("detections %s: %v", g.ID, err)
+		}
+		if len(first.Detections) != first.Next-first.Since || first.Total < first.Next {
+			t.Fatalf("detections %s: page %+v inconsistent", g.ID, first)
+		}
+		again, err := c.Detections(ctx, g.ID, first.Next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Detections) != 0 || again.Next != first.Next {
+			t.Fatalf("cursor %s: non-empty tail %+v", g.ID, again)
+		}
+
+		rep, err := c.DeleteStream(ctx, g.ID)
+		if err != nil {
+			t.Fatalf("delete %s: %v", g.ID, err)
+		}
+		want, err := hub.Reference(kind.Config, g.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep.Detections, want) {
+			t.Errorf("%s: /v1 transcript diverges from Reference:\n got %v\nwant %v", g.ID, rep.Detections, want)
+		}
+		if rep.Stats.Position != len(g.Data) {
+			t.Errorf("%s: final position %d, want %d", g.ID, rep.Stats.Position, len(g.Data))
+		}
+	}
+	if _, err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1SpecStreamMatchesReference registers a stream whose classifier
+// comes from a declarative spec override (not the kind default) and pins
+// its transcript against a Reference oracle running the same spec-trained
+// classifier.
+func TestV1SpecStreamMatchesReference(t *testing.T) {
+	kinds := demoKinds(t)
+	h, c, _ := newTestServer(t, hub.Config{Workers: 2}, kinds)
+	ctx := context.Background()
+
+	var chicken hub.Kind
+	for _, k := range kinds {
+		if k.Name == "chicken" {
+			chicken = k
+		}
+	}
+	const spec = "probthreshold:threshold=0.95,minprefix=12"
+	info, err := c.CreateStream(ctx, client.CreateStreamRequest{
+		ID: "coop-spec", Kind: "chicken", Spec: spec, Engine: "eager",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Spec != spec || info.Engine != "eager" {
+		t.Fatalf("spec stream info %+v", info)
+	}
+
+	data, err := chicken.Gen(rand.New(rand.NewSource(99)), 2600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Push(ctx, "coop-spec", data); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.DeleteStream(ctx, "coop-spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle: the same spec trained on the kind's dataset, same geometry.
+	refCfg, err := specStreamConfig(chicken, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hub.Reference(refCfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Detections, want) {
+		t.Errorf("spec stream transcript diverges from Reference:\n got %v\nwant %v", rep.Detections, want)
+	}
+	if _, err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"etsc/internal/client"
+	"etsc/internal/etsc"
+	"etsc/internal/hub"
+)
+
+// apiErrOf asserts err is a typed *client.APIError with the wanted
+// status and code.
+func apiErrOf(t *testing.T, err error, status int, code client.ErrorCode) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want %d/%s error, got nil", status, code)
+	}
+	ae, ok := err.(*client.APIError)
+	if !ok {
+		t.Fatalf("want *client.APIError, got %T: %v", err, err)
+	}
+	if ae.Status != status || ae.Code != code {
+		t.Fatalf("want %d/%s, got %d/%s (%s)", status, code, ae.Status, ae.Code, ae.Message)
+	}
+	if ae.Message == "" {
+		t.Error("empty error message")
+	}
+}
+
+// rawStatus performs an untyped request and returns status + body.
+func rawStatus(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(raw)
+}
+
+// envelopeCode decodes the structured error code from a raw /v1 body.
+func envelopeCode(t *testing.T, body string) client.ErrorCode {
+	t.Helper()
+	var env client.ErrorEnvelope
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("error body %q is not the JSON envelope: %v", body, err)
+	}
+	return env.Error.Code
+}
+
+// TestV1ErrorPaths covers every /v1 failure class: malformed JSON,
+// missing/unknown ids, unknown kind, bad spec, bad engine, wrong method,
+// unknown endpoint, duplicate registration, and bad cursor values —
+// each with its machine-readable code.
+func TestV1ErrorPaths(t *testing.T) {
+	kinds := demoKinds(t)
+	h, c, ts := newTestServer(t, hub.Config{Workers: 1}, kinds)
+	ctx := context.Background()
+
+	// Malformed JSON bodies.
+	status, body := rawStatus(t, http.MethodPost, ts.URL+"/v1/streams", "{not json")
+	if status != http.StatusBadRequest || envelopeCode(t, body) != client.CodeBadJSON {
+		t.Errorf("malformed create: %d %s", status, body)
+	}
+	// A malformed registration must not attach a ghost stream.
+	if streams, err := c.Streams(ctx); err != nil || len(streams) != 0 {
+		t.Errorf("ghost stream after malformed create: %v %v", streams, err)
+	}
+
+	// Missing id.
+	_, err := c.CreateStream(ctx, client.CreateStreamRequest{Kind: "chicken"})
+	apiErrOf(t, err, http.StatusBadRequest, client.CodeBadRequest)
+
+	// Ids that cannot survive path routing: '/' splits the segments,
+	// "."/".." are rewritten by the mux's path cleaning.
+	for _, id := range []string{"a/b", ".", ".."} {
+		_, err = c.CreateStream(ctx, client.CreateStreamRequest{ID: id, Kind: "chicken"})
+		apiErrOf(t, err, http.StatusBadRequest, client.CodeBadRequest)
+	}
+
+	// Unknown kind.
+	_, err = c.CreateStream(ctx, client.CreateStreamRequest{ID: "x", Kind: "lobster"})
+	apiErrOf(t, err, http.StatusBadRequest, client.CodeUnknownKind)
+
+	// Bad specs: unparseable, unknown algorithm, unknown parameter.
+	for _, spec := range []string{":=", "nonesuch", "ects:suport=1"} {
+		_, err = c.CreateStream(ctx, client.CreateStreamRequest{ID: "x", Kind: "chicken", Spec: spec})
+		apiErrOf(t, err, http.StatusBadRequest, client.CodeBadSpec)
+	}
+
+	// Bad engine.
+	_, err = c.CreateStream(ctx, client.CreateStreamRequest{ID: "x", Kind: "chicken", Engine: "warp"})
+	apiErrOf(t, err, http.StatusBadRequest, client.CodeBadRequest)
+
+	// Push to an unregistered stream: /v1 does not lazily attach.
+	_, err = c.Push(ctx, "nonesuch", []float64{1, 2, 3})
+	apiErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
+
+	// Unknown stream for get/delete/detections.
+	_, err = c.Stream(ctx, "nonesuch")
+	apiErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
+	_, err = c.DeleteStream(ctx, "nonesuch")
+	apiErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
+	_, err = c.Detections(ctx, "nonesuch", 0)
+	apiErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
+
+	// Duplicate registration.
+	if _, err := c.CreateStream(ctx, client.CreateStreamRequest{ID: "coop", Kind: "chicken"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.CreateStream(ctx, client.CreateStreamRequest{ID: "coop", Kind: "chicken"})
+	apiErrOf(t, err, http.StatusConflict, client.CodeDuplicateStream)
+
+	// Malformed push body.
+	status, body = rawStatus(t, http.MethodPost, ts.URL+"/v1/streams/coop/push", `{"points":["a"]}`)
+	if status != http.StatusBadRequest || envelopeCode(t, body) != client.CodeBadJSON {
+		t.Errorf("malformed push: %d %s", status, body)
+	}
+
+	// Wrong methods, structured 405s.
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodDelete, "/v1/streams"},
+		{http.MethodPut, "/v1/streams/coop"},
+		{http.MethodGet, "/v1/streams/coop/push"},
+		{http.MethodPost, "/v1/stats"},
+		{http.MethodPost, "/v1/detections"},
+	} {
+		status, body := rawStatus(t, tc.method, ts.URL+tc.path, "")
+		if status != http.StatusMethodNotAllowed || envelopeCode(t, body) != client.CodeMethodNotAllowed {
+			t.Errorf("%s %s: %d %s", tc.method, tc.path, status, body)
+		}
+	}
+
+	// Unknown endpoint.
+	status, body = rawStatus(t, http.MethodGet, ts.URL+"/v1/nonesuch", "")
+	if status != http.StatusNotFound || envelopeCode(t, body) != client.CodeNotFound {
+		t.Errorf("unknown endpoint: %d %s", status, body)
+	}
+
+	// Bad detections cursor values.
+	status, body = rawStatus(t, http.MethodGet, ts.URL+"/v1/detections?stream=coop&since=-3", "")
+	if status != http.StatusBadRequest || envelopeCode(t, body) != client.CodeBadRequest {
+		t.Errorf("negative since: %d %s", status, body)
+	}
+	status, body = rawStatus(t, http.MethodGet, ts.URL+"/v1/detections", "")
+	if status != http.StatusBadRequest || envelopeCode(t, body) != client.CodeBadRequest {
+		t.Errorf("missing stream: %d %s", status, body)
+	}
+
+	if _, err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyErrorPaths pins the frozen alias behaviour: plain-text 4xx
+// errors, lazy attach, and no ghost streams on rejected pushes.
+func TestLegacyErrorPaths(t *testing.T) {
+	kinds := demoKinds(t)
+	h, _, ts := newTestServer(t, hub.Config{Workers: 1}, kinds)
+
+	// Wrong methods.
+	if status, _ := rawStatus(t, http.MethodGet, ts.URL+"/push?stream=x", ""); status != http.StatusMethodNotAllowed {
+		t.Errorf("GET /push: %d", status)
+	}
+	if status, _ := rawStatus(t, http.MethodGet, ts.URL+"/detach?stream=x", ""); status != http.StatusMethodNotAllowed {
+		t.Errorf("GET /detach: %d", status)
+	}
+
+	// Missing stream id, bad floats, unknown kind — all plain-text 400s.
+	if status, _ := rawStatus(t, http.MethodPost, ts.URL+"/push", "1 2"); status != http.StatusBadRequest {
+		t.Errorf("missing stream: %d", status)
+	}
+	if status, _ := rawStatus(t, http.MethodPost, ts.URL+"/push?stream=ghost", "not-a-float"); status != http.StatusBadRequest {
+		t.Errorf("garbage body: %d", status)
+	}
+	if status, _ := rawStatus(t, http.MethodPost, ts.URL+"/push?stream=x&kind=lobster", "1 2"); status != http.StatusBadRequest {
+		t.Errorf("unknown kind: %d", status)
+	}
+	// No ghost streams from rejected pushes.
+	var snap map[string]hub.StreamStats
+	_, body := rawStatus(t, http.MethodGet, ts.URL+"/streams", "")
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 0 {
+		t.Errorf("ghost streams attached: %v", snap)
+	}
+
+	// Unknown stream on read endpoints.
+	if status, _ := rawStatus(t, http.MethodGet, ts.URL+"/detections?stream=nope", ""); status != http.StatusNotFound {
+		t.Errorf("unknown detections: %d", status)
+	}
+	if status, _ := rawStatus(t, http.MethodPost, ts.URL+"/detach?stream=nope", ""); status != http.StatusNotFound {
+		t.Errorf("unknown detach: %d", status)
+	}
+
+	if _, err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// slowClassifier is an EarlyClassifier whose every decision sleeps,
+// keeping the drain worker busy so queue-full backpressure is
+// deterministic in the 429 tests.
+type slowClassifier struct{ delay time.Duration }
+
+func (s slowClassifier) Name() string    { return "slow" }
+func (s slowClassifier) FullLength() int { return 64 }
+func (s slowClassifier) ClassifyPrefix(prefix []float64) etsc.Decision {
+	time.Sleep(s.delay)
+	return etsc.Decision{}
+}
+func (s slowClassifier) ForcedLabel(series []float64) int { return 0 }
+
+// slowKind serves the slow pipeline for backpressure tests.
+func slowKind() hub.Kind {
+	return hub.Kind{
+		Name:   "slow",
+		Spec:   etsc.Spec{Algo: "slow"},
+		Config: hub.StreamConfig{Classifier: slowClassifier{delay: 30 * time.Millisecond}, Stride: 16, Step: 16},
+	}
+}
+
+// TestV1PushBackpressure429 pins the Drop policy surfacing as a 429 with
+// the backpressure code and a Retry-After hint on /v1.
+func TestV1PushBackpressure429(t *testing.T) {
+	h, c, ts := newTestServer(t, hub.Config{Workers: 1, QueueDepth: 1, Policy: hub.Drop}, []hub.Kind{slowKind()})
+	ctx := context.Background()
+	if _, err := c.CreateStream(ctx, client.CreateStreamRequest{ID: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := make([]float64, 256)
+	saw429 := false
+	for i := 0; i < 8 && !saw429; i++ {
+		_, err := c.Push(ctx, "s1", batch)
+		if err == nil {
+			continue
+		}
+		if !client.IsBackpressure(err) {
+			t.Fatalf("push error is not backpressure: %v", err)
+		}
+		ae := err.(*client.APIError)
+		if ae.Status != http.StatusTooManyRequests {
+			t.Fatalf("backpressure status %d, want 429", ae.Status)
+		}
+		saw429 = true
+	}
+	if !saw429 {
+		t.Fatal("no 429 after 8 rapid pushes against a full depth-1 queue")
+	}
+	// The Retry-After header rides on the raw response.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/streams/s1/push", strings.NewReader(`{"points":[1,2,3]}`))
+	var lastRetry string
+	for i := 0; i < 8; i++ {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		retry := resp.Header.Get("Retry-After")
+		status := resp.StatusCode
+		resp.Body.Close()
+		req, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/streams/s1/push", strings.NewReader(`{"points":[1,2,3]}`))
+		if status == http.StatusTooManyRequests {
+			lastRetry = retry
+			break
+		}
+	}
+	if lastRetry == "" {
+		t.Error("429 without Retry-After")
+	}
+	if _, err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyPushBackpressure429 pins the same Drop-policy 429 on the
+// legacy /push alias.
+func TestLegacyPushBackpressure429(t *testing.T) {
+	h, _, ts := newTestServer(t, hub.Config{Workers: 1, QueueDepth: 1, Policy: hub.Drop}, []hub.Kind{slowKind()})
+
+	points := strings.Repeat("0.5 ", 256)
+	saw429 := false
+	for i := 0; i < 8 && !saw429; i++ {
+		status, _ := rawStatus(t, http.MethodPost, ts.URL+"/push?stream=s1&kind=slow", points)
+		switch status {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			saw429 = true
+		default:
+			t.Fatalf("legacy push status %d", status)
+		}
+	}
+	if !saw429 {
+		t.Fatal("no 429 after 8 rapid legacy pushes against a full depth-1 queue")
+	}
+	if _, err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1TooLargeBody pins the body-size cap's structured 413.
+func TestV1TooLargeBody(t *testing.T) {
+	h, c, ts := newTestServer(t, hub.Config{Workers: 1}, demoKinds(t))
+	if _, err := c.CreateStream(context.Background(), client.CreateStreamRequest{ID: "big", Kind: "chicken"}); err != nil {
+		t.Fatal(err)
+	}
+	// A >32MB JSON body without allocating it all at once: stream a huge
+	// array of zeros.
+	body := io.MultiReader(
+		strings.NewReader(`{"points":[0`),
+		strings.NewReader(strings.Repeat(",0", 18_000_000)),
+		strings.NewReader("]}"),
+	)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/streams/big/push", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (body %s)", resp.StatusCode, raw)
+	}
+	if code := envelopeCode(t, string(raw)); code != client.CodeTooLarge {
+		t.Errorf("code %s, want %s", code, client.CodeTooLarge)
+	}
+	if _, err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeNew covers constructor validation.
+func TestServeNew(t *testing.T) {
+	h, err := hub.New(hub.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(h, nil); err == nil {
+		t.Error("no kinds accepted")
+	}
+	k := slowKind()
+	if _, err := New(h, []hub.Kind{k, k}); err == nil {
+		t.Error("duplicate kinds accepted")
+	}
+	srv, err := New(h, []hub.Kind{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := srv.KindNames(); len(names) != 1 || names[0] != "slow" {
+		t.Errorf("KindNames() = %v", names)
+	}
+	if _, err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,558 @@
+// Package serve is the HTTP face of the multi-stream monitoring hub: the
+// versioned `/v1` REST API (wire types in internal/client, the protocol's
+// single source of truth) plus the frozen unversioned legacy routes kept
+// as aliases for pre-`/v1` clients.
+//
+//	POST   /v1/streams            register a stream (kind or spec, engine, geometry)
+//	GET    /v1/streams            list streams with live stats
+//	GET    /v1/streams/{id}       one stream's description
+//	POST   /v1/streams/{id}/push  batch ingest {"points":[...]}
+//	DELETE /v1/streams/{id}       detach; returns the final report
+//	GET    /v1/stats              hub totals
+//	GET    /v1/detections?stream=ID&since=N   cursor-paged detections
+//
+// Every `/v1` failure is a structured JSON error
+// {"error":{"code":"...","message":"..."}} with a machine-readable code
+// (client.ErrorCode). Unlike the legacy `/push`, `/v1` registration is
+// explicit: pushing to an unregistered stream is CodeUnknownStream, not a
+// lazy attach — a production fleet should not materialize pipelines from
+// typos.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"etsc/internal/client"
+	"etsc/internal/etsc"
+	"etsc/internal/hub"
+)
+
+// maxBody bounds one request's body (~32 MB ≈ 1.5M points as text) so a
+// single client cannot balloon process memory.
+const maxBody = 32 << 20
+
+// Server routes HTTP traffic onto one hub. Streams registered through
+// `/v1` and streams lazily attached through the legacy `/push` share the
+// hub and are visible to both APIs.
+type Server struct {
+	hub   *hub.Hub
+	kinds map[string]hub.Kind
+	deflt string
+	mux   *http.ServeMux
+
+	mu   sync.Mutex
+	meta map[string]streamMeta
+}
+
+// streamMeta is the registration-time description of an attached stream.
+type streamMeta struct {
+	kind   string
+	spec   string
+	engine string
+}
+
+// New builds the handler over an attached hub and the kinds it serves.
+// The first kind is the default for requests that name none.
+func New(h *hub.Hub, kinds []hub.Kind) (*Server, error) {
+	if len(kinds) == 0 {
+		return nil, errors.New("serve: no stream kinds")
+	}
+	s := &Server{
+		hub:   h,
+		kinds: map[string]hub.Kind{},
+		deflt: kinds[0].Name,
+		meta:  map[string]streamMeta{},
+	}
+	for _, k := range kinds {
+		if _, dup := s.kinds[k.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate kind %q", k.Name)
+		}
+		s.kinds[k.Name] = k
+	}
+	mux := http.NewServeMux()
+	// The versioned API. One prefix handler keeps full control over
+	// method dispatch so 404/405 carry structured bodies too.
+	mux.HandleFunc("/v1/", s.handleV1)
+	// Legacy aliases, frozen: text bodies in, plain-text errors out,
+	// lazy attachment on first push.
+	mux.HandleFunc("/push", s.handleLegacyPush)
+	mux.HandleFunc("/stats", s.handleLegacyStats)
+	mux.HandleFunc("/streams", s.handleLegacyStreams)
+	mux.HandleFunc("/detections", s.handleLegacyDetections)
+	mux.HandleFunc("/detach", s.handleLegacyDetach)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// KindNames lists the served kinds, sorted.
+func (s *Server) KindNames() []string {
+	out := make([]string, 0, len(s.kinds))
+	for name := range s.kinds {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- /v1 routing ----
+
+// handleV1 dispatches /v1/... paths manually: the error contract (JSON
+// envelope with a code on every failure, including 404 and 405) is part
+// of the protocol, so routing misses cannot fall through to the mux's
+// plain-text defaults.
+func (s *Server) handleV1(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/")
+	seg := strings.Split(rest, "/")
+	switch {
+	case rest == "streams":
+		switch r.Method {
+		case http.MethodPost:
+			s.v1CreateStream(w, r)
+		case http.MethodGet:
+			s.v1ListStreams(w)
+		default:
+			writeAPIError(w, methodNotAllowed(r, http.MethodGet, http.MethodPost))
+		}
+	case len(seg) == 2 && seg[0] == "streams" && seg[1] != "":
+		id := seg[1]
+		switch r.Method {
+		case http.MethodGet:
+			s.v1GetStream(w, id)
+		case http.MethodDelete:
+			s.v1DeleteStream(w, id)
+		default:
+			writeAPIError(w, methodNotAllowed(r, http.MethodGet, http.MethodDelete))
+		}
+	case len(seg) == 3 && seg[0] == "streams" && seg[1] != "" && seg[2] == "push":
+		if r.Method != http.MethodPost {
+			writeAPIError(w, methodNotAllowed(r, http.MethodPost))
+			return
+		}
+		s.v1Push(w, r, seg[1])
+	case rest == "stats":
+		if r.Method != http.MethodGet {
+			writeAPIError(w, methodNotAllowed(r, http.MethodGet))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.hub.Stats())
+	case rest == "detections":
+		if r.Method != http.MethodGet {
+			writeAPIError(w, methodNotAllowed(r, http.MethodGet))
+			return
+		}
+		s.v1Detections(w, r)
+	default:
+		writeAPIError(w, &client.APIError{
+			Status:  http.StatusNotFound,
+			Code:    client.CodeNotFound,
+			Message: fmt.Sprintf("no /v1 endpoint %q", r.URL.Path),
+		})
+	}
+}
+
+// v1CreateStream registers a stream from a declarative description: a
+// served kind for the pipeline defaults, an optional etsc spec retrained
+// on the kind's training set, and per-stream engine/geometry overrides.
+func (s *Server) v1CreateStream(w http.ResponseWriter, r *http.Request) {
+	var req client.CreateStreamRequest
+	if apiErr := decodeJSON(r, w, &req); apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	if req.ID == "" {
+		writeAPIError(w, badRequest("missing stream id"))
+		return
+	}
+	// Ids live in /v1/streams/{id}/... path segments; one containing a
+	// slash would register fine and then be unroutable (the decoded
+	// request path splits on it), and "." / ".." are rewritten away by
+	// the mux's path cleaning. Reject them all at registration.
+	if strings.Contains(req.ID, "/") || req.ID == "." || req.ID == ".." {
+		writeAPIError(w, badRequest(fmt.Sprintf("stream id %q must be a single path segment (no '/', not %q or %q)", req.ID, ".", "..")))
+		return
+	}
+	kindName := req.Kind
+	if kindName == "" {
+		kindName = s.deflt
+	}
+	kind, ok := s.kinds[kindName]
+	if !ok {
+		writeAPIError(w, &client.APIError{
+			Status:  http.StatusBadRequest,
+			Code:    client.CodeUnknownKind,
+			Message: fmt.Sprintf("unknown kind %q (served: %s)", kindName, strings.Join(s.KindNames(), ", ")),
+		})
+		return
+	}
+
+	sc := kind.Config
+	specStr := kind.Spec.String()
+	if req.Spec != "" {
+		// A per-stream spec replaces the kind's classifier, trained
+		// against the kind's training set through the registry.
+		override, err := specStreamConfig(kind, req.Spec)
+		if err != nil {
+			writeAPIError(w, &client.APIError{
+				Status:  http.StatusBadRequest,
+				Code:    client.CodeBadSpec,
+				Message: err.Error(),
+			})
+			return
+		}
+		sc = override
+		specStr = req.Spec
+	}
+	if req.Engine != "" {
+		mode, err := etsc.ParseEngineMode(req.Engine)
+		if err != nil {
+			writeAPIError(w, badRequest(err.Error()))
+			return
+		}
+		sc.Engine = mode
+	}
+	if req.Stride != nil {
+		sc.Stride = *req.Stride
+	}
+	if req.Step != nil {
+		sc.Step = *req.Step
+	}
+	if req.Suppress != nil {
+		sc.Suppress = *req.Suppress
+	}
+
+	meta := streamMeta{kind: kind.Name, spec: specStr, engine: sc.Engine.String()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.hub.Attach(req.ID, sc); err != nil {
+		writeAPIError(w, attachError(err))
+		return
+	}
+	s.meta[req.ID] = meta
+	writeJSON(w, http.StatusCreated, s.infoLocked(req.ID, hub.StreamStats{}))
+}
+
+// infoLocked renders one stream's StreamInfo; s.mu must be held.
+func (s *Server) infoLocked(id string, stats hub.StreamStats) client.StreamInfo {
+	m := s.meta[id]
+	return client.StreamInfo{ID: id, Kind: m.kind, Spec: m.spec, Engine: m.engine, Stats: stats}
+}
+
+func (s *Server) v1ListStreams(w http.ResponseWriter) {
+	snap := s.hub.Snapshot()
+	ids := make([]string, 0, len(snap))
+	for id := range snap {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := client.StreamList{Streams: make([]client.StreamInfo, 0, len(ids))}
+	s.mu.Lock()
+	for _, id := range ids {
+		out.Streams = append(out.Streams, s.infoLocked(id, snap[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) v1GetStream(w http.ResponseWriter, id string) {
+	snap := s.hub.Snapshot()
+	stats, ok := snap[id]
+	if !ok {
+		writeAPIError(w, unknownStream(id))
+		return
+	}
+	s.mu.Lock()
+	info := s.infoLocked(id, stats)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) v1Push(w http.ResponseWriter, r *http.Request, id string) {
+	var req client.PushRequest
+	if apiErr := decodeJSON(r, w, &req); apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	err := s.hub.Push(id, req.Points)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, client.PushResponse{Stream: id, Queued: len(req.Points)})
+	case errors.Is(err, hub.ErrDropped):
+		// Backpressure is the Drop policy doing its job: tell the client
+		// to retry the whole batch after the drain catches up.
+		w.Header().Set("Retry-After", "1")
+		writeAPIError(w, &client.APIError{
+			Status:  http.StatusTooManyRequests,
+			Code:    client.CodeBackpressure,
+			Message: err.Error(),
+		})
+	case errors.Is(err, hub.ErrUnknownStream):
+		writeAPIError(w, unknownStream(id))
+	case errors.Is(err, hub.ErrClosed):
+		writeAPIError(w, hubClosed(err))
+	default:
+		writeAPIError(w, badRequest(err.Error()))
+	}
+}
+
+func (s *Server) v1Detections(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("stream")
+	if id == "" {
+		writeAPIError(w, badRequest("missing ?stream="))
+		return
+	}
+	since := 0
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeAPIError(w, badRequest(fmt.Sprintf("bad ?since=%q: want a non-negative integer", raw)))
+			return
+		}
+		since = n
+	}
+	dets, settled, err := s.hub.DetectionsSettled(id)
+	if err != nil {
+		writeAPIError(w, unknownStream(id))
+		return
+	}
+	// Only the settled prefix is paged: those Recanted flags are final,
+	// so a cursor consumer sees each detection exactly once in its final
+	// state. Entries past Next (up to Total) still await full-window
+	// verification and surface on a later poll or in the final report.
+	if since > settled {
+		since = settled
+	}
+	writeJSON(w, http.StatusOK, client.DetectionsPage{
+		Stream:     id,
+		Since:      since,
+		Next:       settled,
+		Total:      len(dets),
+		Detections: dets[since:settled],
+	})
+}
+
+func (s *Server) v1DeleteStream(w http.ResponseWriter, id string) {
+	rep, err := s.hub.Detach(id)
+	if err != nil {
+		if errors.Is(err, hub.ErrClosed) {
+			writeAPIError(w, hubClosed(err))
+			return
+		}
+		writeAPIError(w, unknownStream(id))
+		return
+	}
+	s.mu.Lock()
+	delete(s.meta, id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// specStreamConfig renders a kind's StreamConfig with its classifier
+// replaced by one trained from spec against the kind's training set — the
+// exact pipeline a /v1 registration with a spec override runs.
+func specStreamConfig(kind hub.Kind, spec string) (hub.StreamConfig, error) {
+	clf, err := etsc.TrainSpecString(spec, kind.TrainSet)
+	if err != nil {
+		return hub.StreamConfig{}, err
+	}
+	sc := kind.Config
+	sc.Classifier = clf
+	return sc, nil
+}
+
+// ---- /v1 helpers ----
+
+// decodeJSON reads a size-capped JSON body. A non-nil return is the
+// structured error to write.
+func decodeJSON(r *http.Request, w http.ResponseWriter, into any) *client.APIError {
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	if err := json.NewDecoder(body).Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &client.APIError{
+				Status:  http.StatusRequestEntityTooLarge,
+				Code:    client.CodeTooLarge,
+				Message: fmt.Sprintf("body over %d bytes; split the batch", tooBig.Limit),
+			}
+		}
+		return &client.APIError{
+			Status:  http.StatusBadRequest,
+			Code:    client.CodeBadJSON,
+			Message: fmt.Sprintf("bad JSON body: %v", err),
+		}
+	}
+	return nil
+}
+
+func badRequest(msg string) *client.APIError {
+	return &client.APIError{Status: http.StatusBadRequest, Code: client.CodeBadRequest, Message: msg}
+}
+
+func unknownStream(id string) *client.APIError {
+	return &client.APIError{
+		Status:  http.StatusNotFound,
+		Code:    client.CodeUnknownStream,
+		Message: fmt.Sprintf("unknown stream %q", id),
+	}
+}
+
+func hubClosed(err error) *client.APIError {
+	return &client.APIError{Status: http.StatusServiceUnavailable, Code: client.CodeClosed, Message: err.Error()}
+}
+
+func attachError(err error) *client.APIError {
+	switch {
+	case errors.Is(err, hub.ErrDuplicate):
+		return &client.APIError{Status: http.StatusConflict, Code: client.CodeDuplicateStream, Message: err.Error()}
+	case errors.Is(err, hub.ErrClosed):
+		return hubClosed(err)
+	default:
+		return badRequest(err.Error())
+	}
+}
+
+func methodNotAllowed(r *http.Request, allow ...string) *client.APIError {
+	return &client.APIError{
+		Status:  http.StatusMethodNotAllowed,
+		Code:    client.CodeMethodNotAllowed,
+		Message: fmt.Sprintf("%s not allowed on %s (allow: %s)", r.Method, r.URL.Path, strings.Join(allow, ", ")),
+	}
+}
+
+func writeAPIError(w http.ResponseWriter, ae *client.APIError) {
+	writeJSON(w, ae.Status, client.ErrorEnvelope{Error: *ae})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encode: %v", err)
+	}
+}
+
+// ---- legacy aliases (frozen pre-/v1 behaviour) ----
+
+// ensure lazily attaches id with the pipeline named by kind — the legacy
+// contract; /v1 clients register explicitly instead.
+func (s *Server) ensure(id, kind string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.meta[id]; ok {
+		return nil
+	}
+	if kind == "" {
+		kind = s.deflt
+	}
+	k, ok := s.kinds[kind]
+	if !ok {
+		return fmt.Errorf("unknown kind %q (want one of %s)", kind, strings.Join(s.KindNames(), ","))
+	}
+	if err := s.hub.Attach(id, k.Config); err != nil {
+		return err
+	}
+	s.meta[id] = streamMeta{kind: k.Name, spec: k.Spec.String(), engine: k.Config.Engine.String()}
+	return nil
+}
+
+func (s *Server) handleLegacyPush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("stream")
+	if id == "" {
+		http.Error(w, "missing ?stream=", http.StatusBadRequest)
+		return
+	}
+	// Parse the whole body before touching the hub: a rejected request
+	// must have no side effect (no lazily attached ghost stream). The
+	// body is size-capped so one request cannot balloon process memory.
+	var batch []float64
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	sc := bufio.NewScanner(body)
+	sc.Split(bufio.ScanWords)
+	for sc.Scan() {
+		v, err := strconv.ParseFloat(sc.Text(), 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad point %q: %v", sc.Text(), err), http.StatusBadRequest)
+			return
+		}
+		batch = append(batch, v)
+	}
+	if err := sc.Err(); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("body over %d bytes; split the batch", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.ensure(id, r.URL.Query().Get("kind")); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	err := s.hub.Push(id, batch)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]any{"stream": id, "queued": len(batch)})
+	case errors.Is(err, hub.ErrDropped):
+		// Backpressure surfaced to the HTTP client as 429.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handleLegacyStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.hub.Stats())
+}
+
+// handleLegacyStreams reads the live snapshot without waiting for queues
+// to drain — under sustained ingest a Flush here would park the handler
+// until producers pause, making monitoring unavailable exactly when it
+// matters.
+func (s *Server) handleLegacyStreams(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.hub.Snapshot())
+}
+
+func (s *Server) handleLegacyDetections(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("stream")
+	dets, err := s.hub.Detections(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stream": id, "detections": dets})
+}
+
+func (s *Server) handleLegacyDetach(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("stream")
+	rep, err := s.hub.Detach(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	delete(s.meta, id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, rep)
+}
