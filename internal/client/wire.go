@@ -105,12 +105,16 @@ type CreateStreamRequest struct {
 	Suppress *int `json:"suppress,omitempty"`
 }
 
-// StreamInfo is one registered stream's description and live stats.
+// StreamInfo is one registered stream's description and live stats. Shard
+// is the index of the hub shard owning the stream (always 0 on an
+// unsharded server): hub.ShardedHub's documented FNV-1a placement, echoed
+// so clients and external routers can verify their own hash computation.
 type StreamInfo struct {
 	ID     string          `json:"id"`
 	Kind   string          `json:"kind"`
 	Spec   string          `json:"spec"`
 	Engine string          `json:"engine"`
+	Shard  int             `json:"shard"`
 	Stats  hub.StreamStats `json:"stats"`
 }
 
@@ -153,3 +157,13 @@ type StreamReport = hub.StreamReport
 
 // Totals is GET /v1/stats; the alias pins hub.Totals into the contract.
 type Totals = hub.Totals
+
+// StatsResponse is the full GET /v1/stats body: the hub-wide totals
+// (flattened — pre-shard clients decoding into Totals keep working
+// unchanged) plus, when the server runs a sharded hub, one entry per
+// shard with its own load, queue backlog, and drop counters. Shards is
+// in shard-index order and absent on an unsharded server.
+type StatsResponse struct {
+	hub.Totals
+	Shards []hub.ShardTotals `json:"shards,omitempty"`
+}

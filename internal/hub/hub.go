@@ -101,11 +101,14 @@ type StreamStats struct {
 	PendingVerify    int // detections whose full window has not arrived yet
 }
 
-// Totals aggregates StreamStats across the hub.
+// Totals aggregates StreamStats across the hub. QueuedBatches is the
+// instantaneous backlog (batches accepted but not yet drained) — the
+// saturation signal the serving layer exposes per shard.
 type Totals struct {
 	Streams        int
 	Batches        int64
 	Points         int64
+	QueuedBatches  int
 	DroppedBatches int64
 	DroppedPoints  int64
 	Detections     int
@@ -128,6 +131,12 @@ type Hub struct {
 	mu      sync.Mutex
 	streams map[string]*hubStream
 	closed  bool
+	// Close is idempotent: the first call does the work, every later or
+	// concurrent call waits on closeDone and returns the same reports (or
+	// re-panics with the same pipeline panic the first call hit).
+	closeDone    chan struct{}
+	closeReports []StreamReport
+	closePanic   any
 }
 
 type hubStream struct {
@@ -528,15 +537,42 @@ func (h *Hub) finalize(s *hubStream) StreamReport {
 }
 
 // Close drains and finalizes every stream, stops the worker pool, and
-// returns the final reports sorted by stream ID. Push, Attach, and Detach
-// fail with ErrClosed afterwards.
+// returns the final reports sorted by stream ID. Push and Attach fail with
+// ErrClosed afterwards. Close is idempotent and safe to race with both
+// in-flight Pushes and other Close calls: exactly one caller performs the
+// shutdown, every other call blocks until it completes and then returns
+// the same reports with a nil error, so "Close returned" always means
+// "every accepted batch was applied and the pool is stopped".
 func (h *Hub) Close() ([]StreamReport, error) {
 	h.mu.Lock()
 	if h.closed {
+		done := h.closeDone
 		h.mu.Unlock()
-		return nil, ErrClosed
+		<-done
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if h.closePanic != nil {
+			panic(h.closePanic)
+		}
+		return h.closeReports, nil
 	}
 	h.closed = true
+	done := make(chan struct{})
+	h.closeDone = done
+	// Waiters are released even if a pipeline panic unwinds the shutdown
+	// below (pool.Close rethrows the first task panic): a hang would turn
+	// one fail-stopped stream into a deadlocked process. The panic is
+	// recorded so waiters observe it too instead of a clean nil result.
+	defer func() {
+		if r := recover(); r != nil {
+			h.mu.Lock()
+			h.closePanic = r
+			h.mu.Unlock()
+			close(done)
+			panic(r)
+		}
+		close(done)
+	}()
 	streams := make([]*hubStream, 0, len(h.streams))
 	for _, s := range h.streams {
 		streams = append(streams, s)
@@ -549,6 +585,9 @@ func (h *Hub) Close() ([]StreamReport, error) {
 		reports = append(reports, h.finalize(s))
 	}
 	sort.Slice(reports, func(a, b int) bool { return reports[a].ID < reports[b].ID })
+	h.mu.Lock()
+	h.closeReports = reports
+	h.mu.Unlock()
 	h.pool.Close()
 	return reports, nil
 }
@@ -582,6 +621,7 @@ func (h *Hub) Stats() Totals {
 		t.Streams++
 		t.Batches += st.Batches
 		t.Points += st.Points
+		t.QueuedBatches += st.QueuedBatches
 		t.DroppedBatches += st.DroppedBatches
 		t.DroppedPoints += st.DroppedPoints
 		t.Detections += st.Detections

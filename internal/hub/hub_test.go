@@ -130,11 +130,18 @@ func TestPushUnknownAndDetach(t *testing.T) {
 	if _, err := h.Detach("a"); !errors.Is(err, ErrUnknownStream) {
 		t.Errorf("second Detach: got %v", err)
 	}
-	if _, err := h.Close(); err != nil {
+	reps, err := h.Close()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.Close(); !errors.Is(err, ErrClosed) {
-		t.Errorf("second Close: got %v", err)
+	// Close is idempotent: a second call returns the same reports, nil
+	// error (the full race is exercised by TestCloseIdempotentUnderPush).
+	again, err := h.Close()
+	if err != nil {
+		t.Errorf("second Close: got %v, want idempotent nil", err)
+	}
+	if !reflect.DeepEqual(again, reps) {
+		t.Errorf("second Close reports %+v != first %+v", again, reps)
 	}
 	if err := h.Push("a", []float64{1}); !errors.Is(err, ErrClosed) {
 		t.Errorf("Push after Close: got %v", err)

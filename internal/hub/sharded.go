@@ -1,0 +1,207 @@
+// Sharded hub: the million-stream shape of the ingest layer. A single Hub
+// is one mutex, one registration map, and one worker pool — cheap per
+// stream, but at high stream counts every Push from every producer crosses
+// that one lock and that one map. ShardedHub hashes streamID → shard over
+// N fully independent Hubs (each with its own mutex, stream map, bounded
+// per-stream queues, par.Pool, and detection log), so pushes to streams on
+// different shards share no locks, no maps, and no pool queue: contention
+// is divided by N and ingest scales with cores until the shards themselves
+// saturate.
+//
+// Hash contract: shardIndex is FNV-1a over the stream ID, mod the shard
+// count. It is a pure function of (id, shards) — stable across runs,
+// processes, and architectures — so any layer that knows the shard count
+// (the /v1 serving layer, external routers, a future consistent-hash
+// front) computes the same placement without asking the hub.
+//
+// Determinism contract: sharding is invisible in per-stream output. A
+// stream lives on exactly one shard and keeps the Hub guarantee (batches
+// applied in arrival order by at most one worker), so its transcript is
+// byte-identical to the serial Reference oracle for ANY shard count ×
+// worker count. Cross-shard reads merge deterministically: Close and
+// Snapshot/Stats aggregate per-shard state keyed or sorted by stream ID
+// (IDs are unique across shards by construction), and detection cursors
+// are per-stream, so shard membership cannot reorder what a consumer
+// observes.
+package hub
+
+import (
+	"fmt"
+	"sort"
+
+	"etsc/internal/par"
+	"etsc/internal/stream"
+)
+
+// ShardedConfig sizes a ShardedHub.
+type ShardedConfig struct {
+	// Shards is the number of independent shards (0 = 1). More shards
+	// divide lock and map contention but multiply idle pools; values
+	// beyond the core count stop paying once no two pushers collide.
+	Shards int
+	// Config sizes each shard, with one reinterpretation: Workers is the
+	// TOTAL drain-worker budget (0 = NumCPU), split evenly across shards
+	// with a floor of one per shard — so raising Shards redistributes the
+	// same CPU budget rather than multiplying it.
+	Config
+}
+
+// ShardTotals is one shard's aggregate view: the shard index plus the same
+// totals a standalone Hub reports, including the instantaneous queue
+// backlog and drop counters — the per-shard saturation signals the /v1
+// stats endpoint exposes.
+type ShardTotals struct {
+	Shard int `json:"shard"`
+	Totals
+}
+
+// ShardedHub is N independent Hubs behind the Hub surface. The zero value
+// is not usable; construct with NewSharded. All methods are safe for
+// concurrent use.
+type ShardedHub struct {
+	shards []*Hub
+}
+
+// NewSharded builds a sharded hub. The zero ShardedConfig is usable: one
+// shard, NumCPU workers, queue depth 16, Block policy — behaviourally a
+// plain Hub.
+func NewSharded(cfg ShardedConfig) (*ShardedHub, error) {
+	n := cfg.Shards
+	if n < 0 {
+		return nil, fmt.Errorf("hub: Shards must be >= 0 (0 = 1), got %d", n)
+	}
+	if n == 0 {
+		n = 1
+	}
+	per := cfg.Config
+	if per.Workers < 0 {
+		return nil, fmt.Errorf("hub: Workers must be >= 0 (0 = NumCPU), got %d", per.Workers)
+	}
+	per.Workers = par.Workers(per.Workers) / n
+	if per.Workers < 1 {
+		per.Workers = 1
+	}
+	shards := make([]*Hub, n)
+	for i := range shards {
+		h, err := New(per)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = h
+	}
+	return &ShardedHub{shards: shards}, nil
+}
+
+// Shards returns the shard count.
+func (sh *ShardedHub) Shards() int { return len(sh.shards) }
+
+// ShardFor returns the shard index owning id — the routing half of the
+// hash contract, exported so serving layers can report (and external
+// routers precompute) stream placement.
+func (sh *ShardedHub) ShardFor(id string) int { return shardIndex(id, len(sh.shards)) }
+
+// shardIndex is FNV-1a(id) mod n, inlined over the string so the Push hot
+// path hashes without allocating.
+func shardIndex(id string, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// shard returns the Hub owning id.
+func (sh *ShardedHub) shard(id string) *Hub { return sh.shards[shardIndex(id, len(sh.shards))] }
+
+// Attach registers a new stream under id on its hash-owned shard.
+func (sh *ShardedHub) Attach(id string, sc StreamConfig) error { return sh.shard(id).Attach(id, sc) }
+
+// Push ingests one batch for a stream, touching only the owning shard's
+// lock and map — pushes to streams on different shards never contend.
+func (sh *ShardedHub) Push(id string, points []float64) error { return sh.shard(id).Push(id, points) }
+
+// Detach drains, finalizes, and removes a stream from its shard.
+func (sh *ShardedHub) Detach(id string) (StreamReport, error) { return sh.shard(id).Detach(id) }
+
+// Detections returns a copy of a stream's detection transcript so far.
+func (sh *ShardedHub) Detections(id string) ([]stream.Detection, error) {
+	return sh.shard(id).Detections(id)
+}
+
+// DetectionsSettled is Detections plus the settled-prefix length; cursor
+// consumers page it exactly as on a single Hub. Cursors are per-stream and
+// a stream never changes shards, so cursor stability is unaffected by the
+// shard count.
+func (sh *ShardedHub) DetectionsSettled(id string) ([]stream.Detection, int, error) {
+	return sh.shard(id).DetectionsSettled(id)
+}
+
+// Flush blocks until every shard is quiescent.
+func (sh *ShardedHub) Flush() {
+	for _, h := range sh.shards {
+		h.Flush()
+	}
+}
+
+// Close drains and finalizes every stream on every shard and returns the
+// merged final reports sorted by stream ID — the same deterministic order
+// a single Hub returns, so golden transcripts are shard-count-invariant.
+// Shards are closed in index order; each shard's Close is idempotent and
+// concurrency-safe, so ShardedHub.Close inherits both properties.
+func (sh *ShardedHub) Close() ([]StreamReport, error) {
+	var reports []StreamReport
+	for _, h := range sh.shards {
+		reps, err := h.Close()
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, reps...)
+	}
+	sort.Slice(reports, func(a, b int) bool { return reports[a].ID < reports[b].ID })
+	return reports, nil
+}
+
+// Snapshot merges per-stream stats across shards. Stream IDs are unique
+// across the hub (each id hashes to exactly one shard), so the merge is a
+// disjoint union.
+func (sh *ShardedHub) Snapshot() map[string]StreamStats {
+	out := map[string]StreamStats{}
+	for _, h := range sh.shards {
+		for id, st := range h.Snapshot() {
+			out[id] = st
+		}
+	}
+	return out
+}
+
+// Stats aggregates hub-wide totals across all shards.
+func (sh *ShardedHub) Stats() Totals {
+	var t Totals
+	for _, h := range sh.shards {
+		st := h.Stats()
+		t.Streams += st.Streams
+		t.Batches += st.Batches
+		t.Points += st.Points
+		t.QueuedBatches += st.QueuedBatches
+		t.DroppedBatches += st.DroppedBatches
+		t.DroppedPoints += st.DroppedPoints
+		t.Detections += st.Detections
+		t.Recanted += st.Recanted
+	}
+	return t
+}
+
+// ShardTotals reports each shard's aggregate totals in shard-index order —
+// the per-shard load, backlog, and drop view behind GET /v1/stats.
+func (sh *ShardedHub) ShardTotals() []ShardTotals {
+	out := make([]ShardTotals, len(sh.shards))
+	for i, h := range sh.shards {
+		out[i] = ShardTotals{Shard: i, Totals: h.Stats()}
+	}
+	return out
+}

@@ -34,20 +34,39 @@ import (
 	"etsc/internal/client"
 	"etsc/internal/etsc"
 	"etsc/internal/hub"
+	"etsc/internal/stream"
 )
 
 // maxBody bounds one request's body (~32 MB ≈ 1.5M points as text) so a
 // single client cannot balloon process memory.
 const maxBody = 32 << 20
 
-// Server routes HTTP traffic onto one hub. Streams registered through
-// `/v1` and streams lazily attached through the legacy `/push` share the
-// hub and are visible to both APIs.
+// streamHub is the slice of the hub surface the HTTP layer drives;
+// *hub.Hub and *hub.ShardedHub both satisfy it, so one handler set serves
+// both shapes. Routing is the hub's own: every method takes the stream ID,
+// and the sharded hub hashes it to the owning shard internally — the /v1
+// layer and the hub can never disagree on placement.
+type streamHub interface {
+	Attach(id string, sc hub.StreamConfig) error
+	Push(id string, points []float64) error
+	Detach(id string) (hub.StreamReport, error)
+	Snapshot() map[string]hub.StreamStats
+	Stats() hub.Totals
+	Detections(id string) ([]stream.Detection, error)
+	DetectionsSettled(id string) ([]stream.Detection, int, error)
+}
+
+// Server routes HTTP traffic onto one hub — flat or sharded. Streams
+// registered through `/v1` and streams lazily attached through the legacy
+// `/push` share the hub and are visible to both APIs.
 type Server struct {
-	hub   *hub.Hub
-	kinds map[string]hub.Kind
-	deflt string
-	mux   *http.ServeMux
+	hub streamHub
+	// sharded is non-nil when the hub is a ShardedHub; it feeds the
+	// per-shard half of /v1/stats and the Shard field of StreamInfo.
+	sharded *hub.ShardedHub
+	kinds   map[string]hub.Kind
+	deflt   string
+	mux     *http.ServeMux
 
 	mu   sync.Mutex
 	meta map[string]streamMeta
@@ -63,14 +82,27 @@ type streamMeta struct {
 // New builds the handler over an attached hub and the kinds it serves.
 // The first kind is the default for requests that name none.
 func New(h *hub.Hub, kinds []hub.Kind) (*Server, error) {
+	return newServer(h, nil, kinds)
+}
+
+// NewSharded is New over a sharded hub: identical routes and transcripts,
+// plus the shard-aware extras — GET /v1/stats carries per-shard totals
+// (queue backlog, drops) and StreamInfo reports each stream's owning
+// shard.
+func NewSharded(h *hub.ShardedHub, kinds []hub.Kind) (*Server, error) {
+	return newServer(h, h, kinds)
+}
+
+func newServer(h streamHub, sharded *hub.ShardedHub, kinds []hub.Kind) (*Server, error) {
 	if len(kinds) == 0 {
 		return nil, errors.New("serve: no stream kinds")
 	}
 	s := &Server{
-		hub:   h,
-		kinds: map[string]hub.Kind{},
-		deflt: kinds[0].Name,
-		meta:  map[string]streamMeta{},
+		hub:     h,
+		sharded: sharded,
+		kinds:   map[string]hub.Kind{},
+		deflt:   kinds[0].Name,
+		meta:    map[string]streamMeta{},
 	}
 	for _, k := range kinds {
 		if _, dup := s.kinds[k.Name]; dup {
@@ -146,7 +178,11 @@ func (s *Server) handleV1(w http.ResponseWriter, r *http.Request) {
 			writeAPIError(w, methodNotAllowed(r, http.MethodGet))
 			return
 		}
-		writeJSON(w, http.StatusOK, s.hub.Stats())
+		resp := client.StatsResponse{Totals: s.hub.Stats()}
+		if s.sharded != nil {
+			resp.Shards = s.sharded.ShardTotals()
+		}
+		writeJSON(w, http.StatusOK, resp)
 	case rest == "detections":
 		if r.Method != http.MethodGet {
 			writeAPIError(w, methodNotAllowed(r, http.MethodGet))
@@ -246,7 +282,11 @@ func (s *Server) v1CreateStream(w http.ResponseWriter, r *http.Request) {
 // infoLocked renders one stream's StreamInfo; s.mu must be held.
 func (s *Server) infoLocked(id string, stats hub.StreamStats) client.StreamInfo {
 	m := s.meta[id]
-	return client.StreamInfo{ID: id, Kind: m.kind, Spec: m.spec, Engine: m.engine, Stats: stats}
+	shard := 0
+	if s.sharded != nil {
+		shard = s.sharded.ShardFor(id)
+	}
+	return client.StreamInfo{ID: id, Kind: m.kind, Spec: m.spec, Engine: m.engine, Shard: shard, Stats: stats}
 }
 
 func (s *Server) v1ListStreams(w http.ResponseWriter) {
