@@ -15,6 +15,8 @@
 //	curl 'localhost:8080/v1/streams'                       # list + per-stream stats
 //	curl 'localhost:8080/v1/stats'                         # hub totals
 //	curl 'localhost:8080/v1/detections?stream=coop7&since=0'
+//	curl -N localhost:8080/v1/streams/coop7/watch          # live SSE detection feed
+//	curl localhost:8080/metrics                            # Prometheus text (-metrics=false disables)
 //	curl -X DELETE localhost:8080/v1/streams/coop7         # final report
 //
 // Stream registration takes a kind (words, gunpoint, chicken — see
@@ -57,6 +59,22 @@
 // per-shard breakdown (queue backlog, drops) and StreamInfo reports each
 // stream's owning shard.
 //
+// Backpressure is selected with -policy: block (default) stalls a full
+// queue's producer, drop answers 429 + Retry-After, and shed accepts the
+// push but evicts the stream's oldest queued batch, counting per-stream
+// sheds in stats and /metrics instead of refusing ingest.
+//
+// Soak/chaos mode:
+//
+//	go run ./cmd/etsc-serve -soak         # full battery
+//	go run ./cmd/etsc-serve -soak -quick  # CI smoke size
+//
+// stands up a shed-policy server on loopback and abuses it — bursty
+// pushers, slow/stalled/disconnect-and-resume watchers, one deliberately
+// overloaded stream — then verifies watcher transcripts against final
+// reports, zero rejections on healthy streams, explicit shed counters on
+// the abused one, and a lint-clean /metrics body (see soak.go).
+//
 // Scaling-proof mode:
 //
 //	go run ./cmd/etsc-serve -scaling -streams 100000 -points 2000000
@@ -97,7 +115,7 @@ func main() {
 		addr       = flag.String("addr", ":8080", "HTTP listen address (server mode)")
 		workers    = flag.Int("workers", 0, "hub worker pool size (0 = NumCPU)")
 		queue      = flag.Int("queue", 0, "per-stream queue depth in batches (0 = default)")
-		policy     = flag.String("policy", "block", "backpressure policy: block or drop")
+		policy     = flag.String("policy", "block", "backpressure policy: block, drop, or shed")
 		seed       = flag.Int64("seed", 1, "scenario seed for the demo pipelines")
 		streams    = flag.Int("streams", 0, "load-generator mode: number of streams (0 = serve HTTP)")
 		points     = flag.Int("points", 20_000, "load generator: points per stream")
@@ -108,6 +126,9 @@ func main() {
 		engine     = flag.String("engine", "pruned", "inference engine for every stream pipeline: pruned (lazy NN frontier) or eager (transcripts identical)")
 		shards     = flag.Int("shards", 1, "number of independent hub shards routed by the stream-ID hash (1 = single flat hub)")
 		scaling    = flag.Bool("scaling", false, "run the shard scaling sweep: shards {1,4,16} × stream counts up to -streams (capped at 100000; -points is the total ingest budget per cell), then exit")
+		metricsOn  = flag.Bool("metrics", true, "server mode: expose Prometheus text exposition at GET /metrics")
+		soak       = flag.Bool("soak", false, "run the soak/chaos battery — shed-policy server, bursty pushers, slow/stalled/reconnecting watchers — then exit")
+		quick      = flag.Bool("quick", false, "soak: CI-smoke sizes (seconds, not minutes)")
 	)
 	specOverrides := map[string]string{}
 	flag.Func("spec", "replace a kind's detector: kind=algo:key=value,... (repeatable; trained on the kind's dataset)", func(s string) error {
@@ -120,14 +141,9 @@ func main() {
 	})
 	flag.Parse()
 
-	var pol hub.Policy
-	switch *policy {
-	case "block":
-		pol = hub.Block
-	case "drop":
-		pol = hub.Drop
-	default:
-		log.Fatalf("unknown -policy %q (want block or drop)", *policy)
+	pol, err := hub.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatalf("-policy: %v", err)
 	}
 	mode, err := etsc.ParseEngineMode(*engine)
 	if err != nil {
@@ -207,6 +223,13 @@ func main() {
 	}
 	log.Printf("etsc-serve: trained %d demo kinds in %v (traincache=%v engine=%s)",
 		len(kinds), time.Since(trainStart).Round(time.Millisecond), *traincache, mode)
+
+	if *soak {
+		if err := soakRun(os.Stdout, kinds, *seed, *quick); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	// -shards 1 keeps the original flat hub (and the pre-shard /v1/stats
 	// body, with no per-shard rows); >1 partitions streams by the ID hash.
 	hubCfg := hub.Config{Workers: *workers, QueueDepth: *queue, Policy: pol}
@@ -239,6 +262,16 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *metricsOn {
+		// One registry feeds both halves: the hub's hot-path instruments and
+		// the serve layer's scrape-time families.
+		reg := srv.EnableMetrics(nil)
+		if sh != nil {
+			sh.SetMetrics(reg)
+		} else {
+			h.(*hub.Hub).SetMetrics(reg)
+		}
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

@@ -210,6 +210,39 @@ func TestLoadgenRemoteSmoke(t *testing.T) {
 	}
 }
 
+// TestSoakQuickSmoke runs the -soak -quick battery in process: chaos
+// watchers and bursty pushers against a live shed-policy server, ending in
+// an explicit PASS line with per-stream shed counters and a linted /metrics
+// body.
+func TestSoakQuickSmoke(t *testing.T) {
+	kinds, err := hub.DemoKinds(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := os.Create(filepath.Join(t.TempDir(), "soak.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := soakRun(tmp, kinds, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"soak: metrics lint ok",
+		"soak: stream abuse-0",
+		"watch transcripts matched the final report on 4/4 healthy streams",
+		"soak: PASS — zero ingest rejections on healthy streams",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("soak report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestPercentileEmpty pins the empty-sample guard: no panic, zero value.
 func TestPercentileEmpty(t *testing.T) {
 	if got := percentile(nil, 0.99); got != 0 {

@@ -1,0 +1,345 @@
+// Soak/chaos mode (-soak): stand up a real shed-policy server on a loopback
+// listener and abuse it the way production does — bursty pushers, slow and
+// stalled watchers, watchers that disconnect mid-feed and resume at their
+// cursor, and one deliberately overloaded stream forced to shed — then hold
+// the system to its contracts: every healthy stream's watch transcripts
+// (flaky, slow, and stalled alike) byte-identical to its final report, zero
+// ingest rejections on healthy streams (shed absorbs overload instead of
+// 429ing), explicit per-stream shed counters on the abused one, and a
+// /metrics body that passes the exposition-format lint. -quick shrinks the
+// workload to CI-smoke size.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"etsc/internal/client"
+	"etsc/internal/etsc"
+	"etsc/internal/hub"
+	"etsc/internal/metrics"
+	"etsc/internal/serve"
+	"etsc/internal/stream"
+)
+
+// soakClassifier drains slowly on purpose so the abused stream's queue
+// genuinely fills and the Shed policy has something to evict.
+type soakClassifier struct{ delay time.Duration }
+
+func (s soakClassifier) Name() string    { return "soakslow" }
+func (s soakClassifier) FullLength() int { return 64 }
+func (s soakClassifier) ClassifyPrefix(prefix []float64) etsc.Decision {
+	time.Sleep(s.delay)
+	return etsc.Decision{}
+}
+func (s soakClassifier) ForcedLabel(series []float64) int { return 0 }
+
+func soakSlowKind(delay time.Duration) hub.Kind {
+	return hub.Kind{
+		Name:   "soakslow",
+		Spec:   etsc.Spec{Algo: "soakslow"},
+		Config: hub.StreamConfig{Classifier: soakClassifier{delay: delay}, Stride: 16, Step: 16},
+	}
+}
+
+// soakWatchState is the reconnect-vs-delete handshake (same protocol the
+// serve test battery uses): the flaky watcher publishes its cursor only
+// after any forced reconnect completed, and stops reconnecting once stop is
+// set, so the deleter can guarantee the final frames land on a live
+// connection.
+type soakWatchState struct {
+	cursor atomic.Int64
+	stop   atomic.Bool
+}
+
+// soakWatchResult is one watcher's collected feed.
+type soakWatchResult struct {
+	role string
+	dets []stream.Detection
+	err  error
+}
+
+// soakWatch consumes a stream's watch feed to the Final frame. delay
+// throttles between frames (the slow watcher); stall pauses once before the
+// second frame (the stalled watcher); reconnectEvery forces a
+// disconnect+resume at the cursor every N frames while st allows it.
+func soakWatch(ctx context.Context, c *client.Client, id, role string, delay, stall time.Duration, reconnectEvery int, st *soakWatchState) soakWatchResult {
+	res := soakWatchResult{role: role}
+	ws, err := c.Watch(ctx, id, 0)
+	if err != nil {
+		res.err = fmt.Errorf("%s watcher %s: %w", role, id, err)
+		return res
+	}
+	defer func() {
+		if ws != nil {
+			ws.Close()
+		}
+	}()
+	next, sinceReconnect := 0, 0
+	for {
+		f, err := ws.Next()
+		if err != nil {
+			res.err = fmt.Errorf("%s watcher %s: frame at cursor %d: %w", role, id, next, err)
+			return res
+		}
+		if f.Final {
+			return res
+		}
+		if f.Detection == nil || f.Index != next {
+			res.err = fmt.Errorf("%s watcher %s: frame index %d at cursor %d", role, id, f.Index, next)
+			return res
+		}
+		res.dets = append(res.dets, *f.Detection)
+		next = f.Next
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if stall > 0 && len(res.dets) == 1 {
+			time.Sleep(stall) // go quiet mid-feed; the server must not care
+		}
+		sinceReconnect++
+		if st != nil && reconnectEvery > 0 && sinceReconnect >= reconnectEvery && !st.stop.Load() {
+			sinceReconnect = 0
+			ws.Close()
+			ws, err = c.Watch(ctx, id, next)
+			if err != nil {
+				res.err = fmt.Errorf("%s watcher %s: reconnect at %d: %w", role, id, next, err)
+				return res
+			}
+		}
+		if st != nil {
+			st.cursor.Store(int64(next))
+		}
+	}
+}
+
+// soakRun executes the battery and writes the report to w. It returns an
+// error if any contract was violated — transcripts diverging, healthy
+// streams rejected or shedding, the abused stream not shedding, or a
+// malformed /metrics body.
+func soakRun(w *os.File, kinds []hub.Kind, seed int64, quick bool) error {
+	healthy, points, abuseBatches := 6, 9_000, 120
+	classifierDelay, stall := 3*time.Millisecond, 2*time.Second
+	if quick {
+		healthy, points, abuseBatches = 4, 3_000, 48
+		classifierDelay, stall = 2*time.Millisecond, 300*time.Millisecond
+	}
+	const queueDepth, batchSize = 16, 64
+
+	h, err := hub.New(hub.Config{Workers: 4, QueueDepth: queueDepth, Policy: hub.Shed})
+	if err != nil {
+		return err
+	}
+	served := append(append([]hub.Kind{}, kinds...), soakSlowKind(classifierDelay))
+	srv, err := serve.New(h, served)
+	if err != nil {
+		return err
+	}
+	reg := srv.EnableMetrics(nil)
+	h.SetMetrics(reg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	c, err := client.New(base)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	fmt.Fprintf(w, "soak: %d healthy + 1 abused streams → %s (policy=shed depth=%d quick=%v)\n",
+		healthy, base, queueDepth, quick)
+	gens, err := hub.DemoStreams(kinds, seed, healthy, points)
+	if err != nil {
+		return err
+	}
+	for _, g := range gens {
+		if _, err := c.CreateStream(ctx, client.CreateStreamRequest{ID: g.ID, Kind: g.Kind}); err != nil {
+			return fmt.Errorf("register %s: %w", g.ID, err)
+		}
+	}
+	const abuseID = "abuse-0"
+	if _, err := c.CreateStream(ctx, client.CreateStreamRequest{ID: abuseID, Kind: "soakslow"}); err != nil {
+		return fmt.Errorf("register %s: %w", abuseID, err)
+	}
+
+	// Chaos watchers on every healthy stream: a flaky one that disconnects
+	// and resumes at its cursor, a slow consumer, and one that stalls cold
+	// mid-feed. All three must still end with the complete transcript.
+	states := make(map[string]*soakWatchState, healthy)
+	results := make(map[string][]chan soakWatchResult, healthy)
+	for _, g := range gens {
+		st := &soakWatchState{}
+		states[g.ID] = st
+		chans := make([]chan soakWatchResult, 3)
+		for i := range chans {
+			chans[i] = make(chan soakWatchResult, 1)
+		}
+		results[g.ID] = chans
+		go func(id string) { chans[0] <- soakWatch(ctx, c, id, "flaky", 0, 0, 3, st) }(g.ID)
+		go func(id string) { chans[1] <- soakWatch(ctx, c, id, "slow", 2*time.Millisecond, 0, 0, nil) }(g.ID)
+		go func(id string) { chans[2] <- soakWatch(ctx, c, id, "stalled", 0, stall, 0, nil) }(g.ID)
+	}
+
+	// Bursty pushers on the healthy streams: paced, but every seventh batch
+	// arrives as a back-to-back burst. Under the shed policy none of this
+	// may be rejected.
+	var healthyRejected atomic.Int64
+	pushErrs := make(chan error, healthy+1)
+	for _, g := range gens {
+		go func(g hub.DemoStream) {
+			batchNo := 0
+			for off := 0; off < len(g.Data); off += batchSize {
+				end := min(off+batchSize, len(g.Data))
+				if _, err := c.Push(ctx, g.ID, g.Data[off:end]); err != nil {
+					if client.IsBackpressure(err) {
+						healthyRejected.Add(1)
+						continue
+					}
+					pushErrs <- fmt.Errorf("push %s: %w", g.ID, err)
+					return
+				}
+				batchNo++
+				if batchNo%7 != 0 { // burst every seventh batch
+					time.Sleep(time.Millisecond)
+				}
+			}
+			pushErrs <- nil
+		}(g)
+	}
+	// The abuser slams batches unpaced at a drain that cannot keep up; the
+	// hub must shed old batches instead of blocking or 429ing.
+	go func() {
+		data := make([]float64, batchSize)
+		for i := range data {
+			data[i] = float64(i % 5)
+		}
+		for b := 0; b < abuseBatches; b++ {
+			if _, err := c.Push(ctx, abuseID, data); err != nil {
+				pushErrs <- fmt.Errorf("push %s: %w", abuseID, err)
+				return
+			}
+		}
+		pushErrs <- nil
+	}()
+	var errs []error
+	for i := 0; i < healthy+1; i++ {
+		if err := <-pushErrs; err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if errs != nil {
+		return errors.Join(errs...)
+	}
+	h.Flush()
+
+	// Scrape while every stream is still attached so the per-stream shed
+	// families are visible, and lint the exposition format.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if err := metrics.Lint(strings.NewReader(string(body))); err != nil {
+		errs = append(errs, fmt.Errorf("/metrics fails the format lint: %w", err))
+	}
+	for _, want := range []string{"etsc_hub_shed_batches_total", fmt.Sprintf("etsc_stream_shed_batches_total{stream=%q}", abuseID)} {
+		if !strings.Contains(string(body), want) {
+			errs = append(errs, fmt.Errorf("/metrics body missing %s", want))
+		}
+	}
+	fmt.Fprintf(w, "soak: metrics lint ok (%d bytes)\n", len(body))
+
+	// Settle, hand the watchers their final frames, and audit per stream.
+	matched := 0
+	for _, g := range gens {
+		settled, err := c.Detections(ctx, g.ID, 1_000_000_000) // clamped: Next == settled
+		if err != nil {
+			return err
+		}
+		st := states[g.ID]
+		deadline := time.Now().Add(60 * time.Second)
+		for st.cursor.Load() < int64(settled.Next) {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("flaky watcher on %s stuck at %d, settled %d", g.ID, st.cursor.Load(), settled.Next)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		st.stop.Store(true)
+		rep, err := c.DeleteStream(ctx, g.ID)
+		if err != nil {
+			return err
+		}
+		want, err := json.Marshal(rep.Detections)
+		if err != nil {
+			return err
+		}
+		ok := true
+		for _, ch := range results[g.ID] {
+			res := <-ch
+			if res.err != nil {
+				errs = append(errs, res.err)
+				ok = false
+				continue
+			}
+			got, err := json.Marshal(res.dets)
+			if err != nil {
+				return err
+			}
+			if string(got) != string(want) {
+				errs = append(errs, fmt.Errorf("%s watcher %s: transcript diverges from final report (%d vs %d detections)",
+					res.role, g.ID, len(res.dets), len(rep.Detections)))
+				ok = false
+			}
+		}
+		if ok {
+			matched++
+		}
+		if rep.Stats.ShedBatches != 0 || rep.Stats.DroppedBatches != 0 {
+			errs = append(errs, fmt.Errorf("healthy stream %s shed %d / dropped %d batches", g.ID, rep.Stats.ShedBatches, rep.Stats.DroppedBatches))
+		}
+		fmt.Fprintf(w, "soak: stream %-12s %7d points, %4d detections, shed %d batches (%d points)\n",
+			g.ID, rep.Stats.Position, len(rep.Detections), rep.Stats.ShedBatches, rep.Stats.ShedPoints)
+	}
+	fmt.Fprintf(w, "soak: watch transcripts matched the final report on %d/%d healthy streams\n", matched, healthy)
+
+	abuseRep, err := c.DeleteStream(ctx, abuseID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "soak: stream %-12s %7d points, %4d detections, shed %d batches (%d points)\n",
+		abuseID, abuseRep.Stats.Position, len(abuseRep.Detections), abuseRep.Stats.ShedBatches, abuseRep.Stats.ShedPoints)
+	if abuseRep.Stats.ShedBatches == 0 {
+		errs = append(errs, fmt.Errorf("abused stream %s shed nothing — the overload never bit", abuseID))
+	}
+	if n := healthyRejected.Load(); n != 0 {
+		errs = append(errs, fmt.Errorf("%d ingest rejections on healthy streams under the shed policy", n))
+	}
+	if _, err := h.Close(); err != nil {
+		return err
+	}
+	if errs != nil {
+		return errors.Join(errs...)
+	}
+	fmt.Fprintf(w, "soak: PASS — zero ingest rejections on healthy streams, %d batches shed on %s\n",
+		abuseRep.Stats.ShedBatches, abuseID)
+	return nil
+}

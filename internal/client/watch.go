@@ -1,0 +1,103 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// WatchStream is a live subscription to one stream's settled detections
+// (GET /v1/streams/{id}/watch, SSE). It is owned by a single consumer
+// goroutine. Always Close it — an abandoned subscription holds its HTTP
+// connection and a server-side watcher slot until the stream finalizes.
+type WatchStream struct {
+	body   io.ReadCloser
+	rd     *bufio.Reader
+	lastID string
+}
+
+// Watch subscribes to a stream's settled detections starting at index
+// since (GET /v1/streams/{id}/watch?since=N). Frames arrive in transcript
+// order exactly once; the subscription ends with a Final frame when the
+// stream is deleted or the server shuts down. To resume after a lost
+// connection, call Watch again with the last frame's Next (or
+// LastEventID()+1 — the same number).
+//
+// The request context governs the whole subscription: cancelling it tears
+// the connection down and surfaces the cancellation from Next. Use a
+// cancellable context, not a deadline-bound one, for long-lived watches,
+// and an http.Client without a Timeout (the default) — a client timeout
+// kills the subscription mid-flight.
+func (c *Client) Watch(ctx context.Context, id string, since int) (*WatchStream, error) {
+	q := url.Values{"since": {strconv.Itoa(since)}}
+	path := "/v1/streams/" + url.PathEscape(id) + "/watch?" + q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: watch %s: %w", id, err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: watch %s: %w", id, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return &WatchStream{body: resp.Body, rd: bufio.NewReader(resp.Body)}, nil
+}
+
+// Next blocks for the next frame. After a Final frame the server closes
+// the feed and subsequent calls return io.EOF; a severed connection
+// surfaces the transport error (resume with Watch at LastEventID()+1).
+func (w *WatchStream) Next() (WatchFrame, error) {
+	var data strings.Builder
+	var sawData bool
+	for {
+		line, err := w.rd.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && sawData {
+				err = io.ErrUnexpectedEOF // truncated frame, not a clean end
+			}
+			return WatchFrame{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if !sawData {
+				continue // heartbeat separator between comment frames
+			}
+			var f WatchFrame
+			if err := json.Unmarshal([]byte(data.String()), &f); err != nil {
+				return WatchFrame{}, fmt.Errorf("client: bad watch frame %q: %w", data.String(), err)
+			}
+			return f, nil
+		case strings.HasPrefix(line, ":"):
+			// SSE comment (keep-alive); ignore.
+		case strings.HasPrefix(line, "id:"):
+			w.lastID = strings.TrimSpace(line[len("id:"):])
+		case strings.HasPrefix(line, "data:"):
+			if sawData {
+				data.WriteByte('\n') // multi-line data per the SSE spec
+			}
+			sawData = true
+			data.WriteString(strings.TrimPrefix(strings.TrimSpace(line[len("data:"):]), " "))
+		default:
+			// Unknown field (event:, retry:): ignore per the SSE spec.
+		}
+	}
+}
+
+// LastEventID returns the id of the most recent detection frame ("" before
+// the first). Resuming at LastEventID()+1 — the Last-Event-ID convention —
+// continues the feed without duplicates or gaps.
+func (w *WatchStream) LastEventID() string { return w.lastID }
+
+// Close tears down the subscription.
+func (w *WatchStream) Close() error { return w.body.Close() }

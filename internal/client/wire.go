@@ -151,6 +151,22 @@ type DetectionsPage struct {
 	Detections []stream.Detection `json:"detections"`
 }
 
+// WatchFrame is one frame of GET /v1/streams/{id}/watch — the live
+// subscription feed. Detection frames carry one settled detection and its
+// transcript index; the terminal frame has Final set, no detection, and
+// Index == Next == the settled total. Next is always the resume cursor: a
+// subscriber that reconnects with ?since=Next (or the SSE Last-Event-ID
+// convention, since = last id + 1) sees each detection exactly once, and
+// the concatenated frames of any reconnect sequence equal the cursor API's
+// paged transcript byte-for-byte.
+type WatchFrame struct {
+	Stream    string            `json:"stream"`
+	Index     int               `json:"index"`
+	Next      int               `json:"next"`
+	Detection *stream.Detection `json:"detection,omitempty"`
+	Final     bool              `json:"final,omitempty"`
+}
+
 // StreamReport is the final state DELETE /v1/streams/{id} returns; the
 // alias pins hub.StreamReport's shape into the wire contract.
 type StreamReport = hub.StreamReport

@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"etsc/internal/etsc"
+	"etsc/internal/metrics"
 	"etsc/internal/par"
 	"etsc/internal/stream"
 )
@@ -36,6 +38,15 @@ const (
 	Block Policy = iota
 	// Drop makes Push reject the batch with ErrDropped and count it.
 	Drop
+	// Shed makes Push accept the new batch by evicting the stream's OLDEST
+	// queued batch — per-stream admission control. A slow stream sheds its
+	// own backlog (counted in ShedBatches/ShedPoints, never silent) while
+	// every other stream and the pusher itself stay unaffected: ingest
+	// never blocks and never rejects, so one degraded consumer cannot 429
+	// the whole fleet. Shedding loses mid-stream data by design — the
+	// degradation is explicit, bounded (queue depth), and observable in
+	// Stats and /metrics.
+	Shed
 )
 
 // String returns the policy name.
@@ -45,8 +56,24 @@ func (p Policy) String() string {
 		return "block"
 	case Drop:
 		return "drop"
+	case Shed:
+		return "shed"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a policy name as rendered by String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop":
+		return Drop, nil
+	case "shed":
+		return Shed, nil
+	default:
+		return 0, fmt.Errorf("hub: unknown policy %q (want block, drop, or shed)", s)
 	}
 }
 
@@ -96,9 +123,12 @@ type StreamStats struct {
 	Points           int64
 	DroppedBatches   int64
 	DroppedPoints    int64
+	ShedBatches      int64 // oldest-first queue evictions under the Shed policy
+	ShedPoints       int64
 	Detections       int
 	Recanted         int // detections whose completed (or truncated) window failed verification
 	PendingVerify    int // detections whose full window has not arrived yet
+	Watchers         int // live Watch subscriptions on the stream
 }
 
 // Totals aggregates StreamStats across the hub. QueuedBatches is the
@@ -111,8 +141,11 @@ type Totals struct {
 	QueuedBatches  int
 	DroppedBatches int64
 	DroppedPoints  int64
+	ShedBatches    int64
+	ShedPoints     int64
 	Detections     int
 	Recanted       int
+	Watchers       int
 }
 
 // StreamReport is the final state Detach and Close return for a stream.
@@ -122,6 +155,18 @@ type StreamReport struct {
 	Detections []stream.Detection
 }
 
+// hubMetrics is the hub's hot-path instrument set — atomic counters and a
+// histogram resolved once at SetMetrics, so Push pays atomic ops only (no
+// map lookups, no allocation) and pays nothing at all when metrics are off.
+type hubMetrics struct {
+	push    *metrics.Histogram
+	batches *metrics.Counter
+	points  *metrics.Counter
+	dropped *metrics.Counter
+	shedB   *metrics.Counter
+	shedP   *metrics.Counter
+}
+
 // Hub owns the streams and the shared pool.
 type Hub struct {
 	depth  int
@@ -129,6 +174,7 @@ type Hub struct {
 	pool   *par.Pool
 
 	mu      sync.Mutex
+	met     *hubMetrics
 	streams map[string]*hubStream
 	closed  bool
 	// Close is idempotent: the first call does the work, every later or
@@ -161,6 +207,24 @@ type hubStream struct {
 	settled  int   // prefix of dets whose Recanted flags are committed-final
 	tail     []float64
 	tailAt   int // stream position of tail[0]
+
+	// Watch machinery: notify is closed-and-replaced whenever the settled
+	// prefix advances or the stream finalizes (a broadcast every blocked
+	// Watch.Next observes without polling); final marks the transcript
+	// complete — no detection will ever be appended or re-flagged again.
+	notify   chan struct{}
+	final    bool
+	watchers int
+}
+
+// wakeWatchersLocked broadcasts a state change to every blocked watcher by
+// closing the current notify channel and installing a fresh one. Caller
+// holds s.mu and calls this only when settled actually advanced or final
+// flipped — never on the per-batch fast path — so idle streams allocate
+// nothing.
+func (s *hubStream) wakeWatchersLocked() {
+	close(s.notify)
+	s.notify = make(chan struct{})
 }
 
 // settledBoundLocked computes the settled prefix length: every detection
@@ -191,7 +255,7 @@ func New(cfg Config) (*Hub, error) {
 	if cfg.QueueDepth < 0 {
 		return nil, fmt.Errorf("hub: QueueDepth must be >= 0 (0 = default), got %d", cfg.QueueDepth)
 	}
-	if cfg.Policy != Block && cfg.Policy != Drop {
+	if cfg.Policy != Block && cfg.Policy != Drop && cfg.Policy != Shed {
 		return nil, fmt.Errorf("hub: unknown policy %d", int(cfg.Policy))
 	}
 	depth := cfg.QueueDepth
@@ -224,8 +288,9 @@ func (h *Hub) Attach(id string, sc StreamConfig) error {
 		// Queue and freelist capacities cover the stream's whole batch
 		// population (at most depth queued plus one draining), so the
 		// steady-state Push path never grows either slice.
-		queue: make([][]float64, 0, h.depth),
-		free:  make([][]float64, 0, h.depth+1),
+		queue:  make([][]float64, 0, h.depth),
+		free:   make([][]float64, 0, h.depth+1),
+		notify: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	h.mu.Lock()
@@ -244,10 +309,12 @@ func (h *Hub) Attach(id string, sc StreamConfig) error {
 // caller may reuse its buffer — into a buffer recycled from the stream's
 // drained batches, so with steadily sized batches the Push path is
 // allocation-free in steady state (the alloc regression test pins this).
-// With a full queue, Block policy waits and Drop policy returns ErrDropped
-// (and counts the drop in the stream's stats). Detections surface
-// asynchronously via Detections/Snapshot after the drain worker applies
-// the batch; Flush waits for that.
+// With a full queue, Block policy waits, Drop policy returns ErrDropped
+// (and counts the drop in the stream's stats), and Shed policy evicts the
+// stream's own oldest queued batch to admit the new one — the push always
+// succeeds, the loss is counted in ShedBatches/ShedPoints. Detections
+// surface asynchronously via Detections/Snapshot after the drain worker
+// applies the batch; Flush waits for that.
 func (h *Hub) Push(id string, points []float64) error {
 	h.mu.Lock()
 	if h.closed {
@@ -255,6 +322,7 @@ func (h *Hub) Push(id string, points []float64) error {
 		return ErrClosed
 	}
 	s, ok := h.streams[id]
+	met := h.met
 	h.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownStream, id)
@@ -262,16 +330,42 @@ func (h *Hub) Push(id string, points []float64) error {
 	if len(points) == 0 {
 		return nil
 	}
+	var start time.Time
+	if met != nil {
+		start = time.Now()
+	}
 
 	s.mu.Lock()
 	for len(s.queue) >= h.depth && !s.detached {
-		if h.policy == Drop {
+		switch h.policy {
+		case Drop:
 			s.stats.DroppedBatches++
 			s.stats.DroppedPoints += int64(len(points))
 			s.mu.Unlock()
+			if met != nil {
+				met.dropped.Inc()
+			}
 			return fmt.Errorf("%w: %q", ErrDropped, id)
+		case Shed:
+			// Evict the oldest queued batch: the slow stream pays for its
+			// own backlog, the pusher is admitted unconditionally. The
+			// evicted buffer goes back on the freelist so the shed path
+			// stays allocation-free too.
+			old := s.queue[0]
+			copy(s.queue, s.queue[1:])
+			s.queue = s.queue[:len(s.queue)-1]
+			s.stats.ShedBatches++
+			s.stats.ShedPoints += int64(len(old))
+			if met != nil {
+				met.shedB.Inc()
+				met.shedP.Add(float64(len(old)))
+			}
+			if len(s.free) < cap(s.free) {
+				s.free = append(s.free, old[:0])
+			}
+		default: // Block
+			s.cond.Wait()
 		}
-		s.cond.Wait()
 	}
 	if s.detached {
 		s.mu.Unlock()
@@ -291,6 +385,11 @@ func (h *Hub) Push(id string, points []float64) error {
 		h.pool.Submit(func() { h.drain(s) })
 	}
 	s.mu.Unlock()
+	if met != nil {
+		met.batches.Inc()
+		met.points.Add(float64(len(points)))
+		met.push.Observe(time.Since(start).Seconds())
+	}
 	return nil
 }
 
@@ -314,8 +413,12 @@ func (h *Hub) drain(s *hubStream) {
 			s.stats.QueuedBatches = 0
 			// Fail-stop: the pipeline state is suspect mid-panic, so the
 			// stream stops accepting pushes rather than running on it.
+			// Watchers terminate too — the settled prefix can never grow
+			// on a sealed stream, so holding them open would hang them.
 			s.detached = true
 			s.running = false
+			s.final = true
+			s.wakeWatchersLocked()
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			panic(r)
@@ -387,7 +490,11 @@ func (s *hubStream) applyBatch(batch []float64) {
 		s.stats.PendingVerify = len(s.pend)
 		// Taken jobs commit their flags after the lock is released, so
 		// the settled prefix must not advance past them yet.
+		before := s.settled
 		s.settled = s.settledBoundLocked(jobs)
+		if s.settled != before {
+			s.wakeWatchersLocked()
+		}
 	}()
 	s.runVerifications(jobs)
 }
@@ -465,7 +572,11 @@ func (s *hubStream) runVerifications(jobs []verifyJob) {
 			s.stats.Recanted++
 		}
 	}
+	before := s.settled
 	s.settled = s.settledBoundLocked(nil)
+	if s.settled != before {
+		s.wakeWatchersLocked()
+	}
 }
 
 // waitDrainedLocked blocks until the stream's queue is empty and no drain
@@ -527,6 +638,11 @@ func (h *Hub) finalize(s *hubStream) StreamReport {
 
 	s.mu.Lock()
 	s.tail = nil
+	// Every pending detection was just resolved, so settled == len(dets):
+	// watchers drain the full transcript and then observe final — the
+	// clean-termination contract behind DELETE-while-watching.
+	s.final = true
+	s.wakeWatchersLocked()
 	rep := StreamReport{
 		ID:         s.id,
 		Stats:      s.stats,
@@ -624,10 +740,36 @@ func (h *Hub) Stats() Totals {
 		t.QueuedBatches += st.QueuedBatches
 		t.DroppedBatches += st.DroppedBatches
 		t.DroppedPoints += st.DroppedPoints
+		t.ShedBatches += st.ShedBatches
+		t.ShedPoints += st.ShedPoints
 		t.Detections += st.Detections
 		t.Recanted += st.Recanted
+		t.Watchers += st.Watchers
 	}
 	return t
+}
+
+// SetMetrics registers the hub's hot-path instruments on reg and turns on
+// Push instrumentation: batch/point/drop/shed counters and a push-latency
+// histogram, all under the given constant labels (a ShardedHub passes
+// shard="i"). Instruments are atomic, so the zero-allocation Push contract
+// holds with metrics enabled; with SetMetrics never called, Push pays
+// nothing. Call before traffic — it is safe to call later, but batches
+// pushed first are not retroactively counted. Scrape-time per-stream and
+// per-kind families live in the serving layer (which joins Snapshot with
+// stream metadata); the hub registers only what the hot path touches.
+func (h *Hub) SetMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	m := &hubMetrics{
+		push:    reg.Histogram("etsc_hub_push_seconds", "Push call latency in seconds (enqueue only; drains are asynchronous).", metrics.DefaultLatencyBuckets, labels...),
+		batches: reg.Counter("etsc_hub_batches_total", "Batches accepted by Push.", labels...),
+		points:  reg.Counter("etsc_hub_points_total", "Points accepted by Push.", labels...),
+		dropped: reg.Counter("etsc_hub_dropped_batches_total", "Batches rejected with ErrDropped under the Drop policy.", labels...),
+		shedB:   reg.Counter("etsc_hub_shed_batches_total", "Queued batches evicted under the Shed policy.", labels...),
+		shedP:   reg.Counter("etsc_hub_shed_points_total", "Points discarded by Shed-policy evictions.", labels...),
+	}
+	h.mu.Lock()
+	h.met = m
+	h.mu.Unlock()
 }
 
 // Detections returns a copy of a stream's detection transcript so far.

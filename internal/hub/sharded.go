@@ -28,7 +28,9 @@ package hub
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
+	"etsc/internal/metrics"
 	"etsc/internal/par"
 	"etsc/internal/stream"
 )
@@ -141,6 +143,26 @@ func (sh *ShardedHub) DetectionsSettled(id string) ([]stream.Detection, int, err
 	return sh.shard(id).DetectionsSettled(id)
 }
 
+// Watch subscribes to a stream's settled detections on its owning shard.
+// Subscription semantics — exactly-once delivery, clamped resume, clean
+// finalization — are per-stream and therefore shard-count-invariant.
+func (sh *ShardedHub) Watch(id string, since int) (*Watch, error) {
+	return sh.shard(id).Watch(id, since)
+}
+
+// SetMetrics registers every shard's hot-path instruments on reg, each
+// under a shard="i" label (plus any caller-supplied labels), so /metrics
+// exposes per-shard ingest rates, push latency, and drop/shed counters —
+// the saturation view that tells a hot shard from a hot fleet.
+func (sh *ShardedHub) SetMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	for i, h := range sh.shards {
+		ls := make([]metrics.Label, 0, len(labels)+1)
+		ls = append(ls, labels...)
+		ls = append(ls, metrics.L("shard", strconv.Itoa(i)))
+		h.SetMetrics(reg, ls...)
+	}
+}
+
 // Flush blocks until every shard is quiescent.
 func (sh *ShardedHub) Flush() {
 	for _, h := range sh.shards {
@@ -190,8 +212,11 @@ func (sh *ShardedHub) Stats() Totals {
 		t.QueuedBatches += st.QueuedBatches
 		t.DroppedBatches += st.DroppedBatches
 		t.DroppedPoints += st.DroppedPoints
+		t.ShedBatches += st.ShedBatches
+		t.ShedPoints += st.ShedPoints
 		t.Detections += st.Detections
 		t.Recanted += st.Recanted
+		t.Watchers += st.Watchers
 	}
 	return t
 }

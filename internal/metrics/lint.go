@@ -1,0 +1,303 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Lint parses a Prometheus text-format (0.0.4) exposition and returns the
+// first violation found, or nil when the payload is well-formed. It is the
+// in-test validator behind the /metrics acceptance criterion — a real
+// scraper must be able to ingest what the endpoint serves — and checks:
+//
+//   - every sample line parses (name, optional labels, float value),
+//   - metric and label names match the data model,
+//   - a # TYPE line precedes a family's samples and names a known type,
+//   - samples attach to the most recent TYPE'd family (histograms may add
+//     _bucket/_sum/_count suffixes; other types may not),
+//   - no duplicate series within the exposition,
+//   - histogram buckets carry an le label, are cumulative (non-decreasing
+//     with ascending le), include the +Inf bucket, and agree with _count.
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+
+	seen := map[string]bool{} // full series key → present
+	typed := map[string]Type{}
+	var cur string // most recent # TYPE family
+	type histState struct {
+		buckets []struct {
+			le  float64
+			cum float64
+		}
+		count    float64
+		hasCount bool
+		hasInf   bool
+	}
+	hists := map[string]*histState{} // family+sig → bucket state
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], Type(fields[3])
+				if err := lintName(name, false); err != nil {
+					return fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				switch typ {
+				case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: family %q TYPE'd twice", lineNo, name)
+				}
+				typed[name] = typ
+				cur = name
+			}
+			continue
+		}
+
+		name, sig, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam, sub := familyOf(name, cur, typed)
+		if fam == "" {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		if typed[fam] != TypeHistogram && sub != "" {
+			return fmt.Errorf("line %d: %q: suffix %q on non-histogram family %q", lineNo, name, sub, fam)
+		}
+		key := name + sig
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+
+		if typed[fam] == TypeHistogram {
+			if sub == "" {
+				return fmt.Errorf("line %d: bare sample %q in histogram family %q", lineNo, name, fam)
+			}
+			hkey := fam + stripLE(sig)
+			st := hists[hkey]
+			if st == nil {
+				st = &histState{}
+				hists[hkey] = st
+			}
+			switch sub {
+			case "_bucket":
+				le, ok := leOf(sig)
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket %s without le label", lineNo, key)
+				}
+				if n := len(st.buckets); n > 0 {
+					prev := st.buckets[n-1]
+					if le <= prev.le {
+						return fmt.Errorf("line %d: %s: le %v not ascending after %v", lineNo, key, le, prev.le)
+					}
+					if value < prev.cum {
+						return fmt.Errorf("line %d: %s: cumulative bucket count %v < previous %v", lineNo, key, value, prev.cum)
+					}
+				}
+				st.buckets = append(st.buckets, struct{ le, cum float64 }{le, value})
+				if math.IsInf(le, 1) {
+					st.hasInf = true
+				}
+			case "_count":
+				st.count = value
+				st.hasCount = true
+			case "_sum":
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, st := range hists {
+		if !st.hasInf {
+			return fmt.Errorf("histogram %s: no +Inf bucket", key)
+		}
+		if !st.hasCount {
+			return fmt.Errorf("histogram %s: no _count sample", key)
+		}
+		if n := len(st.buckets); n > 0 && st.buckets[n-1].cum != st.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", key, st.buckets[n-1].cum, st.count)
+		}
+	}
+	return nil
+}
+
+// parseSample splits one sample line into name, label signature (the raw
+// {...} text or ""), and value.
+func parseSample(line string) (name, sig string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		sig = rest[i : j+1]
+		if err := lintLabels(sig); err != nil {
+			return "", "", 0, fmt.Errorf("%q: %v", line, err)
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("no value in sample %q", line)
+		}
+		name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	if err := lintName(name, false); err != nil {
+		return "", "", 0, err
+	}
+	// A timestamp may follow the value; only the value is validated.
+	valText := strings.Fields(rest)
+	if len(valText) < 1 || len(valText) > 2 {
+		return "", "", 0, fmt.Errorf("want 'value [timestamp]' after series in %q", line)
+	}
+	value, err = parseValue(valText[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, sig, value, nil
+}
+
+// parseValue parses a sample value including the Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// lintName validates a metric (or label) name against the data model.
+func lintName(name string, label bool) error {
+	if name == "" {
+		return fmt.Errorf("empty name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == ':' && !label:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return fmt.Errorf("invalid name %q", name)
+		}
+	}
+	return nil
+}
+
+// lintLabels validates a raw {name="value",...} signature.
+func lintLabels(sig string) error {
+	body := strings.TrimSuffix(strings.TrimPrefix(sig, "{"), "}")
+	if body == "" {
+		return nil
+	}
+	for _, pair := range splitLabelPairs(body) {
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("label pair %q has no '='", pair)
+		}
+		if err := lintName(name, true); err != nil {
+			return err
+		}
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			return fmt.Errorf("label %s value %q not quoted", name, val)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(body string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, body[start:])
+	return out
+}
+
+// familyOf resolves a sample name to its TYPE'd family: exact match, or a
+// histogram suffix of the current family. Returns the family name and the
+// suffix ("" for exact).
+func familyOf(name, cur string, typed map[string]Type) (fam, suffix string) {
+	if _, ok := typed[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if _, ok := typed[base]; ok {
+				return base, suf
+			}
+		}
+	}
+	_ = cur
+	return "", ""
+}
+
+// stripLE removes the le label from a bucket signature so every bucket of
+// one histogram series shares a key.
+func stripLE(sig string) string {
+	if sig == "" {
+		return ""
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(sig, "{"), "}")
+	var kept []string
+	for _, pair := range splitLabelPairs(body) {
+		if !strings.HasPrefix(pair, "le=") {
+			kept = append(kept, pair)
+		}
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// leOf extracts the le bound from a bucket signature.
+func leOf(sig string) (float64, bool) {
+	body := strings.TrimSuffix(strings.TrimPrefix(sig, "{"), "}")
+	for _, pair := range splitLabelPairs(body) {
+		if val, ok := strings.CutPrefix(pair, "le="); ok {
+			v, err := parseValue(strings.Trim(val, `"`))
+			return v, err == nil
+		}
+	}
+	return 0, false
+}

@@ -1,51 +1,16 @@
-package serve
+package serve_test
 
 import (
 	"context"
 	"math/rand"
-	"net/http/httptest"
 	"reflect"
-	"sync"
 	"testing"
 
 	"etsc/internal/client"
 	"etsc/internal/hub"
+	"etsc/internal/serve"
+	"etsc/internal/serve/servetest"
 )
-
-// newTestServer builds a hub + server over the demo kinds and returns the
-// typed client pointed at it.
-func newTestServer(t *testing.T, hubCfg hub.Config, kinds []hub.Kind) (*hub.Hub, *client.Client, *httptest.Server) {
-	t.Helper()
-	h, err := hub.New(hubCfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv, err := New(h, kinds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv)
-	t.Cleanup(ts.Close)
-	c, err := client.New(ts.URL)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return h, c, ts
-}
-
-// demoKinds returns the seed-3 demo kinds, trained once per test binary:
-// kinds are read-only after construction (Attach copies the StreamConfig),
-// so every test can share them.
-var demoKindsOnce = sync.OnceValues(func() ([]hub.Kind, error) { return hub.DemoKinds(3) })
-
-func demoKinds(t *testing.T) []hub.Kind {
-	t.Helper()
-	kinds, err := demoKindsOnce()
-	if err != nil {
-		t.Fatal(err)
-	}
-	return kinds
-}
 
 // TestV1EndToEndMatchesReference drives the full /v1 surface through the
 // typed client — register, batch ingest, stats, cursor-paged detections,
@@ -53,8 +18,9 @@ func demoKinds(t *testing.T) []hub.Kind {
 // stream's final transcript equal to the serial hub.Reference oracle:
 // serving over HTTP adds transport, not behaviour.
 func TestV1EndToEndMatchesReference(t *testing.T) {
-	kinds := demoKinds(t)
-	h, c, _ := newTestServer(t, hub.Config{Workers: 4}, kinds)
+	kinds := servetest.DemoKinds(t)
+	srv := servetest.New(t, hub.Config{Workers: 4}, kinds)
+	h, c := srv.Hub, srv.Client
 	ctx := context.Background()
 
 	const nStreams, minLen = 6, 2400
@@ -173,8 +139,9 @@ func TestV1EndToEndMatchesReference(t *testing.T) {
 // its transcript against a Reference oracle running the same spec-trained
 // classifier.
 func TestV1SpecStreamMatchesReference(t *testing.T) {
-	kinds := demoKinds(t)
-	h, c, _ := newTestServer(t, hub.Config{Workers: 2}, kinds)
+	kinds := servetest.DemoKinds(t)
+	srv := servetest.New(t, hub.Config{Workers: 2}, kinds)
+	h, c := srv.Hub, srv.Client
 	ctx := context.Background()
 
 	var chicken hub.Kind
@@ -207,7 +174,7 @@ func TestV1SpecStreamMatchesReference(t *testing.T) {
 	}
 
 	// Oracle: the same spec trained on the kind's dataset, same geometry.
-	refCfg, err := specStreamConfig(chicken, spec)
+	refCfg, err := serve.SpecStreamConfig(chicken, spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,4 +1,4 @@
-package serve
+package serve_test
 
 import (
 	"context"
@@ -7,70 +7,26 @@ import (
 	"net/http"
 	"strings"
 	"testing"
-	"time"
 
 	"etsc/internal/client"
-	"etsc/internal/etsc"
 	"etsc/internal/hub"
+	"etsc/internal/serve"
+	"etsc/internal/serve/servetest"
 )
-
-// apiErrOf asserts err is a typed *client.APIError with the wanted
-// status and code.
-func apiErrOf(t *testing.T, err error, status int, code client.ErrorCode) {
-	t.Helper()
-	if err == nil {
-		t.Fatalf("want %d/%s error, got nil", status, code)
-	}
-	ae, ok := err.(*client.APIError)
-	if !ok {
-		t.Fatalf("want *client.APIError, got %T: %v", err, err)
-	}
-	if ae.Status != status || ae.Code != code {
-		t.Fatalf("want %d/%s, got %d/%s (%s)", status, code, ae.Status, ae.Code, ae.Message)
-	}
-	if ae.Message == "" {
-		t.Error("empty error message")
-	}
-}
-
-// rawStatus performs an untyped request and returns status + body.
-func rawStatus(t *testing.T, method, url, body string) (int, string) {
-	t.Helper()
-	req, err := http.NewRequest(method, url, strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	return resp.StatusCode, string(raw)
-}
-
-// envelopeCode decodes the structured error code from a raw /v1 body.
-func envelopeCode(t *testing.T, body string) client.ErrorCode {
-	t.Helper()
-	var env client.ErrorEnvelope
-	if err := json.Unmarshal([]byte(body), &env); err != nil {
-		t.Fatalf("error body %q is not the JSON envelope: %v", body, err)
-	}
-	return env.Error.Code
-}
 
 // TestV1ErrorPaths covers every /v1 failure class: malformed JSON,
 // missing/unknown ids, unknown kind, bad spec, bad engine, wrong method,
 // unknown endpoint, duplicate registration, and bad cursor values —
 // each with its machine-readable code.
 func TestV1ErrorPaths(t *testing.T) {
-	kinds := demoKinds(t)
-	h, c, ts := newTestServer(t, hub.Config{Workers: 1}, kinds)
+	kinds := servetest.DemoKinds(t)
+	srv := servetest.New(t, hub.Config{Workers: 1}, kinds)
+	h, c, ts := srv.Hub, srv.Client, srv.HTTP
 	ctx := context.Background()
 
 	// Malformed JSON bodies.
-	status, body := rawStatus(t, http.MethodPost, ts.URL+"/v1/streams", "{not json")
-	if status != http.StatusBadRequest || envelopeCode(t, body) != client.CodeBadJSON {
+	status, body := servetest.RawStatus(t, http.MethodPost, ts.URL+"/v1/streams", "{not json")
+	if status != http.StatusBadRequest || servetest.EnvelopeCode(t, body) != client.CodeBadJSON {
 		t.Errorf("malformed create: %d %s", status, body)
 	}
 	// A malformed registration must not attach a ghost stream.
@@ -80,51 +36,51 @@ func TestV1ErrorPaths(t *testing.T) {
 
 	// Missing id.
 	_, err := c.CreateStream(ctx, client.CreateStreamRequest{Kind: "chicken"})
-	apiErrOf(t, err, http.StatusBadRequest, client.CodeBadRequest)
+	servetest.APIErrOf(t, err, http.StatusBadRequest, client.CodeBadRequest)
 
 	// Ids that cannot survive path routing: '/' splits the segments,
 	// "."/".." are rewritten by the mux's path cleaning.
 	for _, id := range []string{"a/b", ".", ".."} {
 		_, err = c.CreateStream(ctx, client.CreateStreamRequest{ID: id, Kind: "chicken"})
-		apiErrOf(t, err, http.StatusBadRequest, client.CodeBadRequest)
+		servetest.APIErrOf(t, err, http.StatusBadRequest, client.CodeBadRequest)
 	}
 
 	// Unknown kind.
 	_, err = c.CreateStream(ctx, client.CreateStreamRequest{ID: "x", Kind: "lobster"})
-	apiErrOf(t, err, http.StatusBadRequest, client.CodeUnknownKind)
+	servetest.APIErrOf(t, err, http.StatusBadRequest, client.CodeUnknownKind)
 
 	// Bad specs: unparseable, unknown algorithm, unknown parameter.
 	for _, spec := range []string{":=", "nonesuch", "ects:suport=1"} {
 		_, err = c.CreateStream(ctx, client.CreateStreamRequest{ID: "x", Kind: "chicken", Spec: spec})
-		apiErrOf(t, err, http.StatusBadRequest, client.CodeBadSpec)
+		servetest.APIErrOf(t, err, http.StatusBadRequest, client.CodeBadSpec)
 	}
 
 	// Bad engine.
 	_, err = c.CreateStream(ctx, client.CreateStreamRequest{ID: "x", Kind: "chicken", Engine: "warp"})
-	apiErrOf(t, err, http.StatusBadRequest, client.CodeBadRequest)
+	servetest.APIErrOf(t, err, http.StatusBadRequest, client.CodeBadRequest)
 
 	// Push to an unregistered stream: /v1 does not lazily attach.
 	_, err = c.Push(ctx, "nonesuch", []float64{1, 2, 3})
-	apiErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
+	servetest.APIErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
 
 	// Unknown stream for get/delete/detections.
 	_, err = c.Stream(ctx, "nonesuch")
-	apiErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
+	servetest.APIErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
 	_, err = c.DeleteStream(ctx, "nonesuch")
-	apiErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
+	servetest.APIErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
 	_, err = c.Detections(ctx, "nonesuch", 0)
-	apiErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
+	servetest.APIErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
 
 	// Duplicate registration.
 	if _, err := c.CreateStream(ctx, client.CreateStreamRequest{ID: "coop", Kind: "chicken"}); err != nil {
 		t.Fatal(err)
 	}
 	_, err = c.CreateStream(ctx, client.CreateStreamRequest{ID: "coop", Kind: "chicken"})
-	apiErrOf(t, err, http.StatusConflict, client.CodeDuplicateStream)
+	servetest.APIErrOf(t, err, http.StatusConflict, client.CodeDuplicateStream)
 
 	// Malformed push body.
-	status, body = rawStatus(t, http.MethodPost, ts.URL+"/v1/streams/coop/push", `{"points":["a"]}`)
-	if status != http.StatusBadRequest || envelopeCode(t, body) != client.CodeBadJSON {
+	status, body = servetest.RawStatus(t, http.MethodPost, ts.URL+"/v1/streams/coop/push", `{"points":["a"]}`)
+	if status != http.StatusBadRequest || servetest.EnvelopeCode(t, body) != client.CodeBadJSON {
 		t.Errorf("malformed push: %d %s", status, body)
 	}
 
@@ -133,30 +89,56 @@ func TestV1ErrorPaths(t *testing.T) {
 		{http.MethodDelete, "/v1/streams"},
 		{http.MethodPut, "/v1/streams/coop"},
 		{http.MethodGet, "/v1/streams/coop/push"},
+		{http.MethodPost, "/v1/streams/coop/watch"},
 		{http.MethodPost, "/v1/stats"},
 		{http.MethodPost, "/v1/detections"},
 	} {
-		status, body := rawStatus(t, tc.method, ts.URL+tc.path, "")
-		if status != http.StatusMethodNotAllowed || envelopeCode(t, body) != client.CodeMethodNotAllowed {
+		status, body := servetest.RawStatus(t, tc.method, ts.URL+tc.path, "")
+		if status != http.StatusMethodNotAllowed || servetest.EnvelopeCode(t, body) != client.CodeMethodNotAllowed {
 			t.Errorf("%s %s: %d %s", tc.method, tc.path, status, body)
 		}
 	}
 
 	// Unknown endpoint.
-	status, body = rawStatus(t, http.MethodGet, ts.URL+"/v1/nonesuch", "")
-	if status != http.StatusNotFound || envelopeCode(t, body) != client.CodeNotFound {
+	status, body = servetest.RawStatus(t, http.MethodGet, ts.URL+"/v1/nonesuch", "")
+	if status != http.StatusNotFound || servetest.EnvelopeCode(t, body) != client.CodeNotFound {
 		t.Errorf("unknown endpoint: %d %s", status, body)
 	}
 
 	// Bad detections cursor values.
-	status, body = rawStatus(t, http.MethodGet, ts.URL+"/v1/detections?stream=coop&since=-3", "")
-	if status != http.StatusBadRequest || envelopeCode(t, body) != client.CodeBadRequest {
+	status, body = servetest.RawStatus(t, http.MethodGet, ts.URL+"/v1/detections?stream=coop&since=-3", "")
+	if status != http.StatusBadRequest || servetest.EnvelopeCode(t, body) != client.CodeBadRequest {
 		t.Errorf("negative since: %d %s", status, body)
 	}
-	status, body = rawStatus(t, http.MethodGet, ts.URL+"/v1/detections", "")
-	if status != http.StatusBadRequest || envelopeCode(t, body) != client.CodeBadRequest {
+	status, body = servetest.RawStatus(t, http.MethodGet, ts.URL+"/v1/detections", "")
+	if status != http.StatusBadRequest || servetest.EnvelopeCode(t, body) != client.CodeBadRequest {
 		t.Errorf("missing stream: %d %s", status, body)
 	}
+
+	// Bad watch parameters: malformed/negative since, bad Last-Event-ID,
+	// unknown format, unknown stream.
+	for _, q := range []string{"?since=-1", "?since=zebra", "?format=morse"} {
+		status, body = servetest.RawStatus(t, http.MethodGet, ts.URL+"/v1/streams/coop/watch"+q, "")
+		if status != http.StatusBadRequest || servetest.EnvelopeCode(t, body) != client.CodeBadRequest {
+			t.Errorf("watch %s: %d %s", q, status, body)
+		}
+	}
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/streams/coop/watch", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "not-a-number")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || servetest.EnvelopeCode(t, string(raw)) != client.CodeBadRequest {
+		t.Errorf("bad Last-Event-ID: %d %s", resp.StatusCode, raw)
+	}
+	_, err = c.Watch(ctx, "nonesuch", 0)
+	servetest.APIErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
 
 	if _, err := h.Close(); err != nil {
 		t.Fatal(err)
@@ -166,30 +148,31 @@ func TestV1ErrorPaths(t *testing.T) {
 // TestLegacyErrorPaths pins the frozen alias behaviour: plain-text 4xx
 // errors, lazy attach, and no ghost streams on rejected pushes.
 func TestLegacyErrorPaths(t *testing.T) {
-	kinds := demoKinds(t)
-	h, _, ts := newTestServer(t, hub.Config{Workers: 1}, kinds)
+	kinds := servetest.DemoKinds(t)
+	srv := servetest.New(t, hub.Config{Workers: 1}, kinds)
+	h, ts := srv.Hub, srv.HTTP
 
 	// Wrong methods.
-	if status, _ := rawStatus(t, http.MethodGet, ts.URL+"/push?stream=x", ""); status != http.StatusMethodNotAllowed {
+	if status, _ := servetest.RawStatus(t, http.MethodGet, ts.URL+"/push?stream=x", ""); status != http.StatusMethodNotAllowed {
 		t.Errorf("GET /push: %d", status)
 	}
-	if status, _ := rawStatus(t, http.MethodGet, ts.URL+"/detach?stream=x", ""); status != http.StatusMethodNotAllowed {
+	if status, _ := servetest.RawStatus(t, http.MethodGet, ts.URL+"/detach?stream=x", ""); status != http.StatusMethodNotAllowed {
 		t.Errorf("GET /detach: %d", status)
 	}
 
 	// Missing stream id, bad floats, unknown kind — all plain-text 400s.
-	if status, _ := rawStatus(t, http.MethodPost, ts.URL+"/push", "1 2"); status != http.StatusBadRequest {
+	if status, _ := servetest.RawStatus(t, http.MethodPost, ts.URL+"/push", "1 2"); status != http.StatusBadRequest {
 		t.Errorf("missing stream: %d", status)
 	}
-	if status, _ := rawStatus(t, http.MethodPost, ts.URL+"/push?stream=ghost", "not-a-float"); status != http.StatusBadRequest {
+	if status, _ := servetest.RawStatus(t, http.MethodPost, ts.URL+"/push?stream=ghost", "not-a-float"); status != http.StatusBadRequest {
 		t.Errorf("garbage body: %d", status)
 	}
-	if status, _ := rawStatus(t, http.MethodPost, ts.URL+"/push?stream=x&kind=lobster", "1 2"); status != http.StatusBadRequest {
+	if status, _ := servetest.RawStatus(t, http.MethodPost, ts.URL+"/push?stream=x&kind=lobster", "1 2"); status != http.StatusBadRequest {
 		t.Errorf("unknown kind: %d", status)
 	}
 	// No ghost streams from rejected pushes.
 	var snap map[string]hub.StreamStats
-	_, body := rawStatus(t, http.MethodGet, ts.URL+"/streams", "")
+	_, body := servetest.RawStatus(t, http.MethodGet, ts.URL+"/streams", "")
 	if err := json.Unmarshal([]byte(body), &snap); err != nil {
 		t.Fatal(err)
 	}
@@ -198,10 +181,10 @@ func TestLegacyErrorPaths(t *testing.T) {
 	}
 
 	// Unknown stream on read endpoints.
-	if status, _ := rawStatus(t, http.MethodGet, ts.URL+"/detections?stream=nope", ""); status != http.StatusNotFound {
+	if status, _ := servetest.RawStatus(t, http.MethodGet, ts.URL+"/detections?stream=nope", ""); status != http.StatusNotFound {
 		t.Errorf("unknown detections: %d", status)
 	}
-	if status, _ := rawStatus(t, http.MethodPost, ts.URL+"/detach?stream=nope", ""); status != http.StatusNotFound {
+	if status, _ := servetest.RawStatus(t, http.MethodPost, ts.URL+"/detach?stream=nope", ""); status != http.StatusNotFound {
 		t.Errorf("unknown detach: %d", status)
 	}
 
@@ -210,32 +193,11 @@ func TestLegacyErrorPaths(t *testing.T) {
 	}
 }
 
-// slowClassifier is an EarlyClassifier whose every decision sleeps,
-// keeping the drain worker busy so queue-full backpressure is
-// deterministic in the 429 tests.
-type slowClassifier struct{ delay time.Duration }
-
-func (s slowClassifier) Name() string    { return "slow" }
-func (s slowClassifier) FullLength() int { return 64 }
-func (s slowClassifier) ClassifyPrefix(prefix []float64) etsc.Decision {
-	time.Sleep(s.delay)
-	return etsc.Decision{}
-}
-func (s slowClassifier) ForcedLabel(series []float64) int { return 0 }
-
-// slowKind serves the slow pipeline for backpressure tests.
-func slowKind() hub.Kind {
-	return hub.Kind{
-		Name:   "slow",
-		Spec:   etsc.Spec{Algo: "slow"},
-		Config: hub.StreamConfig{Classifier: slowClassifier{delay: 30 * time.Millisecond}, Stride: 16, Step: 16},
-	}
-}
-
 // TestV1PushBackpressure429 pins the Drop policy surfacing as a 429 with
 // the backpressure code and a Retry-After hint on /v1.
 func TestV1PushBackpressure429(t *testing.T) {
-	h, c, ts := newTestServer(t, hub.Config{Workers: 1, QueueDepth: 1, Policy: hub.Drop}, []hub.Kind{slowKind()})
+	srv := servetest.New(t, hub.Config{Workers: 1, QueueDepth: 1, Policy: hub.Drop}, []hub.Kind{servetest.SlowKind()})
+	h, c, ts := srv.Hub, srv.Client, srv.HTTP
 	ctx := context.Background()
 	if _, err := c.CreateStream(ctx, client.CreateStreamRequest{ID: "s1"}); err != nil {
 		t.Fatal(err)
@@ -288,12 +250,13 @@ func TestV1PushBackpressure429(t *testing.T) {
 // TestLegacyPushBackpressure429 pins the same Drop-policy 429 on the
 // legacy /push alias.
 func TestLegacyPushBackpressure429(t *testing.T) {
-	h, _, ts := newTestServer(t, hub.Config{Workers: 1, QueueDepth: 1, Policy: hub.Drop}, []hub.Kind{slowKind()})
+	srv := servetest.New(t, hub.Config{Workers: 1, QueueDepth: 1, Policy: hub.Drop}, []hub.Kind{servetest.SlowKind()})
+	h, ts := srv.Hub, srv.HTTP
 
 	points := strings.Repeat("0.5 ", 256)
 	saw429 := false
 	for i := 0; i < 8 && !saw429; i++ {
-		status, _ := rawStatus(t, http.MethodPost, ts.URL+"/push?stream=s1&kind=slow", points)
+		status, _ := servetest.RawStatus(t, http.MethodPost, ts.URL+"/push?stream=s1&kind=slow", points)
 		switch status {
 		case http.StatusOK:
 		case http.StatusTooManyRequests:
@@ -310,9 +273,43 @@ func TestLegacyPushBackpressure429(t *testing.T) {
 	}
 }
 
+// TestV1ShedPolicyNoBackpressure pins the Shed admission-control contract
+// over HTTP: a saturated stream under -policy shed never 429s — every push
+// is accepted — and the loss surfaces as per-stream shed counters in
+// /v1/streams stats instead.
+func TestV1ShedPolicyNoBackpressure(t *testing.T) {
+	srv := servetest.New(t, hub.Config{Workers: 1, QueueDepth: 1, Policy: hub.Shed}, []hub.Kind{servetest.SlowKind()})
+	h, c := srv.Hub, srv.Client
+	ctx := context.Background()
+	if _, err := c.CreateStream(ctx, client.CreateStreamRequest{ID: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := make([]float64, 256)
+	for i := 0; i < 12; i++ {
+		if _, err := c.Push(ctx, "s1", batch); err != nil {
+			t.Fatalf("push %d rejected under Shed: %v", i, err)
+		}
+	}
+	info, err := c.Stream(ctx, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stats.ShedBatches == 0 {
+		t.Error("12 rapid pushes against a depth-1 queue shed nothing")
+	}
+	if info.Stats.DroppedBatches != 0 {
+		t.Errorf("Shed policy counted %d drops", info.Stats.DroppedBatches)
+	}
+	if _, err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestV1TooLargeBody pins the body-size cap's structured 413.
 func TestV1TooLargeBody(t *testing.T) {
-	h, c, ts := newTestServer(t, hub.Config{Workers: 1}, demoKinds(t))
+	srv := servetest.New(t, hub.Config{Workers: 1}, servetest.DemoKinds(t))
+	h, c, ts := srv.Hub, srv.Client, srv.HTTP
 	if _, err := c.CreateStream(context.Background(), client.CreateStreamRequest{ID: "big", Kind: "chicken"}); err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +333,7 @@ func TestV1TooLargeBody(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status %d, want 413 (body %s)", resp.StatusCode, raw)
 	}
-	if code := envelopeCode(t, string(raw)); code != client.CodeTooLarge {
+	if code := servetest.EnvelopeCode(t, string(raw)); code != client.CodeTooLarge {
 		t.Errorf("code %s, want %s", code, client.CodeTooLarge)
 	}
 	if _, err := h.Close(); err != nil {
@@ -350,14 +347,14 @@ func TestServeNew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(h, nil); err == nil {
+	if _, err := serve.New(h, nil); err == nil {
 		t.Error("no kinds accepted")
 	}
-	k := slowKind()
-	if _, err := New(h, []hub.Kind{k, k}); err == nil {
+	k := servetest.SlowKind()
+	if _, err := serve.New(h, []hub.Kind{k, k}); err == nil {
 		t.Error("duplicate kinds accepted")
 	}
-	srv, err := New(h, []hub.Kind{k})
+	srv, err := serve.New(h, []hub.Kind{k})
 	if err != nil {
 		t.Fatal(err)
 	}

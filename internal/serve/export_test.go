@@ -1,0 +1,6 @@
+package serve
+
+// SpecStreamConfig exposes specStreamConfig to the external serve_test
+// package, which uses it to build Reference oracles for spec-override
+// streams.
+var SpecStreamConfig = specStreamConfig

@@ -8,8 +8,10 @@
 //	GET    /v1/streams/{id}       one stream's description
 //	POST   /v1/streams/{id}/push  batch ingest {"points":[...]}
 //	DELETE /v1/streams/{id}       detach; returns the final report
+//	GET    /v1/streams/{id}/watch live settled-detection feed (SSE; ?format=ndjson)
 //	GET    /v1/stats              hub totals
 //	GET    /v1/detections?stream=ID&since=N   cursor-paged detections
+//	GET    /metrics               Prometheus text exposition (after EnableMetrics)
 //
 // Every `/v1` failure is a structured JSON error
 // {"error":{"code":"...","message":"..."}} with a machine-readable code
@@ -34,6 +36,7 @@ import (
 	"etsc/internal/client"
 	"etsc/internal/etsc"
 	"etsc/internal/hub"
+	"etsc/internal/metrics"
 	"etsc/internal/stream"
 )
 
@@ -54,6 +57,7 @@ type streamHub interface {
 	Stats() hub.Totals
 	Detections(id string) ([]stream.Detection, error)
 	DetectionsSettled(id string) ([]stream.Detection, int, error)
+	Watch(id string, since int) (*hub.Watch, error)
 }
 
 // Server routes HTTP traffic onto one hub — flat or sharded. Streams
@@ -67,6 +71,9 @@ type Server struct {
 	kinds   map[string]hub.Kind
 	deflt   string
 	mux     *http.ServeMux
+	// reg is the /metrics registry, nil until EnableMetrics; handlers
+	// read it through the atomic-friendly accessor under s.mu.
+	reg *metrics.Registry
 
 	mu   sync.Mutex
 	meta map[string]streamMeta
@@ -114,6 +121,8 @@ func newServer(h streamHub, sharded *hub.ShardedHub, kinds []hub.Kind) (*Server,
 	// The versioned API. One prefix handler keeps full control over
 	// method dispatch so 404/405 carry structured bodies too.
 	mux.HandleFunc("/v1/", s.handleV1)
+	// Prometheus text exposition; 404s until EnableMetrics is called.
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	// Legacy aliases, frozen: text bodies in, plain-text errors out,
 	// lazy attachment on first push.
 	mux.HandleFunc("/push", s.handleLegacyPush)
@@ -173,6 +182,12 @@ func (s *Server) handleV1(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.v1Push(w, r, seg[1])
+	case len(seg) == 3 && seg[0] == "streams" && seg[1] != "" && seg[2] == "watch":
+		if r.Method != http.MethodGet {
+			writeAPIError(w, methodNotAllowed(r, http.MethodGet))
+			return
+		}
+		s.v1Watch(w, r, seg[1])
 	case rest == "stats":
 		if r.Method != http.MethodGet {
 			writeAPIError(w, methodNotAllowed(r, http.MethodGet))

@@ -1,34 +1,14 @@
-package serve
+package serve_test
 
 import (
 	"context"
-	"net/http/httptest"
 	"reflect"
 	"testing"
 
 	"etsc/internal/client"
 	"etsc/internal/hub"
+	"etsc/internal/serve/servetest"
 )
-
-// newShardedTestServer is newTestServer over a ShardedHub.
-func newShardedTestServer(t *testing.T, cfg hub.ShardedConfig, kinds []hub.Kind) (*hub.ShardedHub, *client.Client) {
-	t.Helper()
-	h, err := hub.NewSharded(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv, err := NewSharded(h, kinds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv)
-	t.Cleanup(ts.Close)
-	c, err := client.New(ts.URL)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return h, c
-}
 
 // TestV1ShardedEndToEnd drives the /v1 surface against a 4-shard hub:
 // StreamInfo echoes the hub's own hash placement, GET /v1/stats carries a
@@ -37,9 +17,10 @@ func newShardedTestServer(t *testing.T, cfg hub.ShardedConfig, kinds []hub.Kind)
 // still equals the serial hub.Reference oracle — sharding is a routing
 // detail, not a behaviour change.
 func TestV1ShardedEndToEnd(t *testing.T) {
-	kinds := demoKinds(t)
+	kinds := servetest.DemoKinds(t)
 	const shards = 4
-	h, c := newShardedTestServer(t, hub.ShardedConfig{Shards: shards, Config: hub.Config{Workers: 4}}, kinds)
+	srv := servetest.NewSharded(t, hub.ShardedConfig{Shards: shards, Config: hub.Config{Workers: 4}}, kinds)
+	h, c := srv.Sharded, srv.Client
 	ctx := context.Background()
 
 	const nStreams, minLen = 8, 2400
@@ -112,8 +93,11 @@ func TestV1ShardedEndToEnd(t *testing.T) {
 		sum.QueuedBatches += st.QueuedBatches
 		sum.DroppedBatches += st.DroppedBatches
 		sum.DroppedPoints += st.DroppedPoints
+		sum.ShedBatches += st.ShedBatches
+		sum.ShedPoints += st.ShedPoints
 		sum.Detections += st.Detections
 		sum.Recanted += st.Recanted
+		sum.Watchers += st.Watchers
 	}
 	if sum != flat {
 		t.Fatalf("shard rows sum to %+v, flat totals %+v", sum, flat)
@@ -142,8 +126,9 @@ func TestV1ShardedEndToEnd(t *testing.T) {
 // no "shards" key (omitempty) and Shard 0 in StreamInfo, so flat servers
 // look exactly like they did before sharding existed.
 func TestV1UnshardedStatsShape(t *testing.T) {
-	kinds := demoKinds(t)
-	_, c, _ := newTestServer(t, hub.Config{Workers: 2}, kinds)
+	kinds := servetest.DemoKinds(t)
+	srv := servetest.New(t, hub.Config{Workers: 2}, kinds)
+	c := srv.Client
 	ctx := context.Background()
 
 	info, err := c.CreateStream(ctx, client.CreateStreamRequest{ID: "flat-0"})

@@ -1,0 +1,137 @@
+// GET /v1/streams/{id}/watch — the live half of the detection read path.
+// The cursor endpoint (/v1/detections) stays the pinned pull reference;
+// watch is the push inversion of the same settled prefix, and the two are
+// interchangeable frame-for-frame: a subscription transcript equals the
+// paged transcript byte-for-byte, which the equivalence battery asserts.
+//
+// Resume contract (exactly-once across reconnects): every detection frame
+// carries its transcript index as the SSE event id and Next = index+1. A
+// reconnecting subscriber passes ?since=Next, or standard SSE replay
+// headers (Last-Event-ID: M means since = M+1). Overshooting since is
+// clamped to the settled prefix, so a stale resume token replays nothing
+// and a too-new one cannot skip.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"etsc/internal/client"
+	"etsc/internal/hub"
+)
+
+// v1Watch streams a stream's settled detections as SSE (default) or NDJSON
+// (?format=ndjson). The handler returns when the stream finalizes (a Final
+// frame is the clean last word — DELETE under a live watcher terminates the
+// feed, never hangs it) or when the client disconnects.
+func (s *Server) v1Watch(w http.ResponseWriter, r *http.Request, id string) {
+	since := 0
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeAPIError(w, badRequest(fmt.Sprintf("bad ?since=%q: want a non-negative integer", raw)))
+			return
+		}
+		since = n
+	} else if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		n, err := strconv.Atoi(lei)
+		if err != nil || n < 0 {
+			writeAPIError(w, badRequest(fmt.Sprintf("bad Last-Event-ID %q: want a non-negative integer", lei)))
+			return
+		}
+		since = n + 1
+	}
+	sse := true
+	switch r.URL.Query().Get("format") {
+	case "", "sse":
+	case "ndjson":
+		sse = false
+	default:
+		writeAPIError(w, badRequest(fmt.Sprintf("bad ?format=%q: want sse or ndjson", r.URL.Query().Get("format"))))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeAPIError(w, &client.APIError{
+			Status:  http.StatusInternalServerError,
+			Code:    client.CodeInternal,
+			Message: "response writer does not support streaming",
+		})
+		return
+	}
+
+	wch, err := s.hub.Watch(id, since)
+	switch {
+	case err == nil:
+	case errors.Is(err, hub.ErrClosed):
+		writeAPIError(w, hubClosed(err))
+		return
+	default:
+		writeAPIError(w, unknownStream(id))
+		return
+	}
+	defer wch.Close()
+
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not coalesce frames
+	w.WriteHeader(http.StatusOK)
+	if sse {
+		// An immediate comment commits the headers so the subscriber knows
+		// it is attached before the first detection settles.
+		fmt.Fprintf(w, ": watch %s since=%d\n\n", id, wch.Cursor())
+	}
+	flusher.Flush()
+
+	cursor := wch.Cursor() // hub-side clamp applied
+	ctx := r.Context()
+	for {
+		dets, final, err := wch.Next(ctx)
+		if err != nil {
+			return // client went away; the deferred Close frees the watcher slot
+		}
+		for i := range dets {
+			frame := client.WatchFrame{Stream: id, Index: cursor, Next: cursor + 1, Detection: &dets[i]}
+			if !writeFrame(w, frame, sse, true) {
+				return
+			}
+			cursor++
+		}
+		if final {
+			writeFrame(w, client.WatchFrame{Stream: id, Index: cursor, Next: cursor, Final: true}, sse, false)
+			flusher.Flush()
+			return
+		}
+		flusher.Flush()
+	}
+}
+
+// writeFrame renders one frame in the negotiated format. Detection frames
+// carry the transcript index as the SSE event id (the resume token); the
+// terminal Final frame does not advance Last-Event-ID. Returns false when
+// the connection is gone.
+func writeFrame(w http.ResponseWriter, f client.WatchFrame, sse, withID bool) bool {
+	raw, err := json.Marshal(f)
+	if err != nil {
+		return false
+	}
+	if sse {
+		if withID {
+			if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", f.Index, raw); err != nil {
+				return false
+			}
+			return true
+		}
+		_, err = fmt.Fprintf(w, "data: %s\n\n", raw)
+		return err == nil
+	}
+	_, err = fmt.Fprintf(w, "%s\n", raw)
+	return err == nil
+}
