@@ -29,12 +29,14 @@ import (
 // arriving sample is a decision opportunity. The bank-backed classifiers
 // (ECTS, ProbThreshold) run under both engine modes; the ECTS pruned/eager
 // delta is the frontier's measured win (a global-NN consumer with a strong
-// cutoff prunes hard), while ProbThreshold documents the frontier's
-// honest cost on per-class minima over few, similar classes — its
-// per-class cutoffs are weak, which is exactly what the trajectory in
-// BENCH_eval.json is there to track. The remaining classifiers have a
-// single session path (their Extend work is snapshot- or shapelet-driven,
-// not bank-driven) and appear once.
+// cutoff prunes hard), while ProbThreshold's pruned row tracks the
+// frontier-crossover fallback — per-class minima over few, similar classes
+// prune too weakly to pay for the frontier, so small banks ride the
+// blocked eager kernel (DESIGN.md §Layer 11). RelClass appears twice: the
+// default precomputed suffix-table kernel and the eager Monte Carlo
+// reference it replaced. The remaining classifiers have a single session
+// path (their Extend work is snapshot- or shapelet-driven, not
+// bank-driven) and appear once.
 func BenchmarkEvalAll(b *testing.B) {
 	train, test := benchSplit(b)
 	builds := []struct {
@@ -48,6 +50,14 @@ func BenchmarkEvalAll(b *testing.B) {
 		{"EDSC-CHE", false, func() (etsc.EarlyClassifier, error) { return etsc.NewEDSC(train, etsc.DefaultEDSCConfig(etsc.CHE)) }},
 		{"RelClass", false, func() (etsc.EarlyClassifier, error) {
 			return etsc.NewRelClass(train, etsc.DefaultRelClassConfig(false))
+		}},
+		// The eager Monte Carlo reference kernel, kept in the trajectory so
+		// the suffix-table win stays measured (RelClass above defaults to
+		// the precomputed table; see internal/etsc RelClassMode).
+		{"RelClass-eagerMC", false, func() (etsc.EarlyClassifier, error) {
+			cfg := etsc.DefaultRelClassConfig(false)
+			cfg.Mode = etsc.RelEager
+			return etsc.NewRelClass(train, cfg)
 		}},
 		{"FixedPrefix", false, func() (etsc.EarlyClassifier, error) { return etsc.NewFixedPrefix(train, train.SeriesLen()/3, true) }},
 	}

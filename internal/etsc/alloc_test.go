@@ -63,6 +63,39 @@ func TestSessionExtendAllocFree(t *testing.T) {
 	}
 }
 
+// TestRelClassPureAllocFree extends the allocation battery to the pure
+// path: ClassifyPrefix → Reliability runs off pooled scratch, so the LOO
+// and fold sweeps in classify stop churning a relScratch per call. Covered
+// for both reliability kernels (the eager walk reuses the same scratch) and
+// both Pooled variants.
+func TestRelClassPureAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	train, test := smallGunPointSplit(t)
+	series := test.Instances[0].Series
+	for _, mode := range []RelClassMode{RelTable, RelEager} {
+		for _, pooled := range []bool{false, true} {
+			cfg := DefaultRelClassConfig(pooled)
+			cfg.Mode = mode
+			r, err := trainRelClass(train, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm the pool, then measure prefixes of cycling lengths.
+			r.ClassifyPrefix(series[:10])
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				r.ClassifyPrefix(series[:i%len(series)+1])
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("mode=%v pooled=%v: ClassifyPrefix allocated %v per call, want 0", mode, pooled, allocs)
+			}
+		}
+	}
+}
+
 // TestSessionTruncationAtFull pins the session truncation contract the
 // IncrementalSession.Extend doc states, for every native session and both
 // engine modes: a batch spanning the full-length boundary is truncated to

@@ -603,7 +603,7 @@ func init() {
 	})
 	MustRegister(Builder{
 		Name: AlgoRelClass,
-		Doc:  "reliability-thresholded Gaussian models; params: tau=float (default 0.1), pooled=bool (LDG variant), samples, minstd=float, seed, minprefix",
+		Doc:  "reliability-thresholded Gaussian models; params: tau=float (default 0.1), pooled=bool (LDG variant), samples, minstd=float, seed, minprefix, mode=table|eager (reliability kernel; table precomputes suffix completions, eager is the pinned MC reference)",
 		Build: func(train *dataset.Dataset, p *Params, o *Options) (EarlyClassifier, error) {
 			cfg := DefaultRelClassConfig(p.Bool("pooled", false))
 			cfg.Tau = p.Float("tau", cfg.Tau)
@@ -611,6 +611,11 @@ func init() {
 			cfg.MinStd = p.Float("minstd", cfg.MinStd)
 			cfg.Seed = p.Int64("seed", o.SeedOr(cfg.Seed))
 			cfg.MinPrefix = p.Int("minprefix", cfg.MinPrefix)
+			mode, err := ParseRelClassMode(p.String("mode", cfg.Mode.String()))
+			if err != nil {
+				return nil, err
+			}
+			cfg.Mode = mode
 			if err := p.Finish(); err != nil {
 				return nil, err
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"etsc/internal/dataset"
 	"etsc/internal/stats"
@@ -33,6 +34,7 @@ type RelClass struct {
 	Tau       float64
 	Pooled    bool
 	MinPrefix int
+	Mode      RelClassMode
 
 	labels []int
 	prior  []float64
@@ -45,16 +47,83 @@ type RelClass struct {
 	// ClassifyPrefix is a pure function.
 	classU []float64
 	noise  [][]float64 // [sample][t]
+
+	// suf is the precomputed suffix-completion table behind RelTable mode:
+	// for sample s, completing class ci, scored class cj, and prefix length
+	// l, suf holds Σ_{t=l}^{full-1} logN(mean[ci][t]+std[ci][t]·noise[s][t];
+	// mean[cj][t], std[cj][t]) — the whole per-sample suffix walk of the
+	// eager Monte Carlo loop, which depends only on (s, ci, cj, l) and never
+	// on the stream. Layout is [s][ci][l][cj] (cj contiguous), built as a
+	// reverse-cumulative sum over l, so a reliability estimate is
+	// O(samples · classes) table lookups instead of
+	// O(samples · classes · suffix-length) Gaussian evaluations. nil in
+	// RelEager mode (and when the table would exceed relTableMaxFloats).
+	suf []float64
+
+	// scratch pools per-call working memory so the pure
+	// ClassifyPrefix/Reliability path is allocation-free in steady state
+	// without violating the read-only sharing contract (sync.Pool is safe
+	// under concurrent ClassifyPrefix calls).
+	scratch sync.Pool
 }
+
+// RelClassMode selects the reliability-estimate kernel. Unlike EngineMode
+// (whose variants are pinned byte-identical), the two modes reassociate the
+// suffix log-likelihood summation and agree only to floating-point
+// tolerance: decisions are pinned identical and reliabilities
+// tolerance-equal by the mode battery, but not bit-equal.
+type RelClassMode int
+
+const (
+	// RelTable (the zero value, and the default) serves reliability from
+	// the precomputed suffix-completion table: O(samples · classes) per
+	// decision.
+	RelTable RelClassMode = iota
+	// RelEager re-walks the unseen suffix for every sample × class on every
+	// decision — the original Monte Carlo loop, kept verbatim as the pinned
+	// reference path (the same pattern as the Pruned/Eager engine split).
+	RelEager
+)
+
+// String returns the mode name.
+func (m RelClassMode) String() string {
+	switch m {
+	case RelTable:
+		return "table"
+	case RelEager:
+		return "eager"
+	default:
+		return fmt.Sprintf("RelClassMode(%d)", int(m))
+	}
+}
+
+// ParseRelClassMode parses "table" or "eager".
+func ParseRelClassMode(s string) (RelClassMode, error) {
+	switch s {
+	case "table":
+		return RelTable, nil
+	case "eager":
+		return RelEager, nil
+	default:
+		return 0, fmt.Errorf("etsc: unknown RelClass mode %q (want table or eager)", s)
+	}
+}
+
+// relTableMaxFloats caps the suffix table at 8M float64s (64 MB): a
+// pathological samples × classes² × length product falls back to the eager
+// kernel instead of exploding training memory. A variable so tests can
+// exercise the fallback.
+var relTableMaxFloats = 1 << 23
 
 // RelClassConfig controls model fitting.
 type RelClassConfig struct {
-	Tau       float64 // commit when reliability >= 1-Tau (paper: τ = 0.1)
-	Pooled    bool    // LDG variant
-	Samples   int     // Monte Carlo completions per decision
-	MinStd    float64 // variance floor (shrinkage)
-	Seed      int64   // seed for the frozen Monte Carlo draws
-	MinPrefix int     // never commit before this many points
+	Tau       float64      // commit when reliability >= 1-Tau (paper: τ = 0.1)
+	Pooled    bool         // LDG variant
+	Samples   int          // Monte Carlo completions per decision
+	MinStd    float64      // variance floor (shrinkage)
+	Seed      int64        // seed for the frozen Monte Carlo draws
+	MinPrefix int          // never commit before this many points
+	Mode      RelClassMode // reliability kernel (default: precomputed table)
 }
 
 // DefaultRelClassConfig mirrors the paper's τ=0.1 setting.
@@ -97,6 +166,7 @@ func relClassParams(cfg RelClassConfig) map[string]any {
 	return map[string]any{
 		"tau": cfg.Tau, "pooled": cfg.Pooled, "samples": cfg.Samples,
 		"minstd": cfg.MinStd, "seed": cfg.Seed, "minprefix": cfg.MinPrefix,
+		"mode": cfg.Mode.String(),
 	}
 }
 
@@ -111,6 +181,9 @@ func trainRelClass(train *dataset.Dataset, cfg RelClassConfig) (*RelClass, error
 	if cfg.Tau <= 0 || cfg.Tau >= 1 {
 		return nil, fmt.Errorf("etsc: RelClass τ must be in (0,1), got %v", cfg.Tau)
 	}
+	if cfg.Mode != RelTable && cfg.Mode != RelEager {
+		return nil, fmt.Errorf("etsc: RelClass mode must be table or eager, got %d", int(cfg.Mode))
+	}
 	if cfg.Samples < 8 {
 		cfg.Samples = 8
 	}
@@ -124,11 +197,20 @@ func trainRelClass(train *dataset.Dataset, cfg RelClassConfig) (*RelClass, error
 	labels := train.Labels()
 	L := train.SeriesLen()
 	byClass := train.ByClass()
+	// Clamp MinPrefix to the model horizon: the session gate compares the
+	// truncation-clamped seen count, so an unclamped MinPrefix > L could
+	// never be met there while the raw-length pure path could — both paths
+	// now gate on the same reachable value (at l == full the reliability is
+	// exactly 1, so a full-length commit is always correct).
+	if cfg.MinPrefix > L {
+		cfg.MinPrefix = L
+	}
 
 	r := &RelClass{
 		Tau:       cfg.Tau,
 		Pooled:    cfg.Pooled,
 		MinPrefix: cfg.MinPrefix,
+		Mode:      cfg.Mode,
 		labels:    labels,
 		full:      L,
 	}
@@ -181,7 +263,43 @@ func trainRelClass(train *dataset.Dataset, cfg RelClassConfig) (*RelClass, error
 		}
 		r.noise[s] = row
 	}
+	if r.Mode == RelTable {
+		if entries := cfg.Samples * len(labels) * len(labels) * (L + 1); entries <= relTableMaxFloats {
+			r.buildSuffixTable()
+		} else {
+			r.Mode = RelEager
+		}
+	}
 	return r, nil
+}
+
+// buildSuffixTable precomputes the per-(sample, completing-class) suffix
+// log-likelihood rows as a reverse-cumulative sum: the l-th row is the
+// (l+1)-th plus the single-timestep term at t = l, so the whole table costs
+// one pass of samples × classes² × length Gaussian evaluations at train
+// time. Summation caveat: the eager reference folds the same terms
+// left-to-right from the prefix posterior, so table and eager reliabilities
+// agree only to floating-point tolerance, not bit-exactly (see DESIGN.md
+// §Layer 11).
+func (r *RelClass) buildSuffixTable() {
+	k := len(r.labels)
+	stride := (r.full + 1) * k
+	suf := make([]float64, len(r.noise)*k*stride)
+	for s, row := range r.noise {
+		for ci := 0; ci < k; ci++ {
+			base := (s*k + ci) * stride
+			mu, sd := r.mean[ci], r.std[ci]
+			for l := r.full - 1; l >= 0; l-- {
+				x := mu[l] + sd[l]*row[l]
+				out := base + l*k
+				prev := base + (l+1)*k
+				for cj := 0; cj < k; cj++ {
+					suf[out+cj] = suf[prev+cj] + stats.LogGaussianPDF(x, r.mean[cj][l], r.std[cj][l])
+				}
+			}
+		}
+	}
+	r.suf = suf
 }
 
 // Name implements EarlyClassifier.
@@ -198,15 +316,20 @@ func (r *RelClass) FullLength() int { return r.full }
 // logPosterior returns the per-class log posterior of the first l points.
 func (r *RelClass) logPosterior(series []float64, l int) []float64 {
 	out := make([]float64, len(r.labels))
+	r.logPosteriorInto(out, series, l)
+	return out
+}
+
+// logPosteriorInto is logPosterior into a caller-owned buffer.
+func (r *RelClass) logPosteriorInto(dst, series []float64, l int) {
 	for ci := range r.labels {
 		lp := math.Log(r.prior[ci])
 		mu, sd := r.mean[ci], r.std[ci]
 		for t := 0; t < l; t++ {
 			lp += stats.LogGaussianPDF(series[t], mu[t], sd[t])
 		}
-		out[ci] = lp
+		dst[ci] = lp
 	}
-	return out
 }
 
 // posteriorFromLog converts log posteriors to normalized probabilities.
@@ -251,32 +374,45 @@ func (r *RelClass) Reliability(prefix []float64) (label int, reliability float64
 	if l > r.full {
 		l = r.full
 	}
-	return r.reliabilityFromLog(r.logPosterior(prefix, l), l)
+	scr := r.getScratch()
+	defer r.scratch.Put(scr)
+	r.logPosteriorInto(scr.lp, prefix, l)
+	return r.reliabilityFromLogScratch(scr.lp, l, scr)
 }
 
-// relScratch is the per-session (or per-call) working memory of the Monte
-// Carlo reliability estimate; owning one makes repeated estimates
+// relScratch is the per-session (or pooled per-call) working memory of the
+// reliability estimate; owning one makes repeated estimates
 // allocation-free.
 type relScratch struct {
-	post, cum, flp []float64
+	lp, post, cum, flp []float64
 }
 
 func (r *RelClass) newRelScratch() *relScratch {
 	k := len(r.labels)
-	return &relScratch{post: make([]float64, k), cum: make([]float64, k), flp: make([]float64, k)}
+	return &relScratch{
+		lp:   make([]float64, k),
+		post: make([]float64, k),
+		cum:  make([]float64, k),
+		flp:  make([]float64, k),
+	}
 }
 
-// reliabilityFromLog is Reliability on an already-accumulated per-class log
-// posterior of the first l points; it allocates a fresh scratch, the
-// session-owned path goes through reliabilityFromLogScratch directly. lp is
-// not modified.
-func (r *RelClass) reliabilityFromLog(lp []float64, l int) (label int, reliability float64) {
-	return r.reliabilityFromLogScratch(lp, l, r.newRelScratch())
+// getScratch serves the pure path's scratch from the pool, so repeated
+// ClassifyPrefix/Reliability calls (LOO and fold sweeps in classify) stop
+// churning allocations; the session path owns its scratch outright.
+func (r *RelClass) getScratch() *relScratch {
+	if scr, ok := r.scratch.Get().(*relScratch); ok {
+		return scr
+	}
+	return r.newRelScratch()
 }
 
-// reliabilityFromLogScratch is the allocation-free core shared by the pure
-// and incremental paths: identical arithmetic, with the per-sample
-// completion buffer reused via copy instead of cloned.
+// reliabilityFromLogScratch is the allocation-free estimate core shared by
+// the pure and incremental paths on an already-accumulated per-class log
+// posterior of the first l points. The MAP decision and the class-sampling
+// cumulative are mode-independent; the per-sample agreement count comes
+// from the suffix table (RelTable) or the original Monte Carlo suffix walk
+// (RelEager). lp is not modified (and may alias scr.lp).
 func (r *RelClass) reliabilityFromLogScratch(lp []float64, l int, scr *relScratch) (label int, reliability float64) {
 	posteriorFromLogInto(scr.post, lp)
 	mapIdx := argmax(scr.post)
@@ -289,6 +425,50 @@ func (r *RelClass) reliabilityFromLogScratch(lp []float64, l int, scr *relScratc
 		acc += p
 		scr.cum[i] = acc
 	}
+	var agree int
+	if r.suf != nil && r.Mode == RelTable {
+		agree = r.agreeTable(lp, l, mapIdx, scr)
+	} else {
+		agree = r.agreeEager(lp, l, mapIdx, scr)
+	}
+	return r.labels[mapIdx], float64(agree) / float64(len(r.noise))
+}
+
+// agreeTable counts the Monte Carlo samples whose full-length argmax agrees
+// with the prefix MAP, reading each sample's entire suffix term as one
+// precomputed table row: O(classes) per sample, independent of the
+// suffix length.
+func (r *RelClass) agreeTable(lp []float64, l, mapIdx int, scr *relScratch) int {
+	k := len(r.labels)
+	stride := (r.full + 1) * k
+	agree := 0
+	for s := range r.noise {
+		// Sample the completing class from the prefix posterior…
+		ci := sort.SearchFloat64s(scr.cum, r.classU[s])
+		if ci >= k {
+			ci = k - 1
+		}
+		// …and score every class on the tabled completion.
+		row := r.suf[(s*k+ci)*stride+l*k:]
+		row = row[:k:k]
+		best, bestV := 0, lp[0]+row[0]
+		for cj := 1; cj < k; cj++ {
+			if v := lp[cj] + row[cj]; v > bestV {
+				best, bestV = cj, v
+			}
+		}
+		if best == mapIdx {
+			agree++
+		}
+	}
+	return agree
+}
+
+// agreeEager is the original per-decision Monte Carlo suffix walk, kept
+// verbatim as the pinned reference the table kernel is validated against:
+// identical arithmetic to the pre-table implementation, with the per-sample
+// completion buffer reused via copy instead of cloned.
+func (r *RelClass) agreeEager(lp []float64, l, mapIdx int, scr *relScratch) int {
 	agree := 0
 	for s := range r.noise {
 		// Sample the completing class from the prefix posterior…
@@ -308,42 +488,51 @@ func (r *RelClass) reliabilityFromLogScratch(lp []float64, l int, scr *relScratc
 			agree++
 		}
 	}
-	return r.labels[mapIdx], float64(agree) / float64(len(r.noise))
+	return agree
 }
 
-// ClassifyPrefix implements EarlyClassifier.
+// ClassifyPrefix implements EarlyClassifier. The readiness gate compares
+// the truncation-clamped prefix length — exactly the length the session
+// path gates on — so pure and incremental decisions agree past the model
+// horizon too.
 func (r *RelClass) ClassifyPrefix(prefix []float64) Decision {
 	label, rel := r.Reliability(prefix)
-	ready := rel >= 1-r.Tau && len(prefix) >= r.MinPrefix
+	l := len(prefix)
+	if l > r.full {
+		l = r.full
+	}
+	ready := rel >= 1-r.Tau && l >= r.MinPrefix
 	return Decision{Label: label, Ready: ready}
 }
 
 // NewIncrementalSession implements IncrementalClassifier with running
 // per-class log-posterior sums: each Extend adds only the new points'
-// Gaussian log-likelihoods (O(classes · Δl)) before the Monte Carlo
-// reliability estimate, instead of re-integrating the whole prefix. The
-// Monte Carlo scratch is session-owned, so steady-state Extends do not
-// allocate.
+// Gaussian log-likelihoods (O(classes · Δl)) before the reliability
+// estimate, instead of re-integrating the whole prefix. The estimate
+// scratch is session-owned, so steady-state Extends do not allocate.
 func (r *RelClass) NewIncrementalSession() IncrementalSession {
-	lp := make([]float64, len(r.labels))
+	scr := r.newRelScratch()
 	for ci := range r.labels {
-		lp[ci] = math.Log(r.prior[ci])
+		scr.lp[ci] = math.Log(r.prior[ci])
 	}
-	return &relClassSession{r: r, lp: lp, scr: r.newRelScratch()}
+	return &relClassSession{r: r, scr: scr}
 }
 
 type relClassSession struct {
-	r    *RelClass
-	lp   []float64 // running per-class log posterior of the seen prefix
-	scr  *relScratch
-	seen int
-	done bool
-	dec  Decision
+	r         *RelClass
+	scr       *relScratch // scr.lp: running per-class log posterior of the seen prefix
+	seen      int
+	done      bool
+	dec       Decision
+	last      Decision // decision of the most recent estimate, for empty batches
+	estimates int      // reliability estimates run (regression-test observable)
 }
 
 // Extend implements IncrementalSession. Points past the model's full length
 // are dropped per the session truncation contract (see
-// IncrementalSession.Extend).
+// IncrementalSession.Extend). An Extend that contributes no new points — an
+// empty batch, or one truncated whole — returns the cached last decision
+// without re-running the reliability estimate.
 func (s *relClassSession) Extend(points []float64) Decision {
 	if s.done {
 		return s.dec
@@ -352,20 +541,26 @@ func (s *relClassSession) Extend(points []float64) Decision {
 	if room := r.full - s.seen; len(points) > room {
 		points = points[:room]
 	}
+	if len(points) == 0 {
+		if s.seen < 1 {
+			return Decision{}
+		}
+		return s.last
+	}
+	lps := s.scr.lp
 	for ci := range r.labels {
-		lp := s.lp[ci]
+		lp := lps[ci]
 		mu, sd := r.mean[ci], r.std[ci]
 		for i, x := range points {
 			lp += stats.LogGaussianPDF(x, mu[s.seen+i], sd[s.seen+i])
 		}
-		s.lp[ci] = lp
+		lps[ci] = lp
 	}
 	s.seen += len(points)
-	if s.seen < 1 {
-		return Decision{}
-	}
-	label, rel := r.reliabilityFromLogScratch(s.lp, s.seen, s.scr)
+	label, rel := r.reliabilityFromLogScratch(lps, s.seen, s.scr)
+	s.estimates++
 	d := Decision{Label: label, Ready: rel >= 1-r.Tau && s.seen >= r.MinPrefix}
+	s.last = d
 	if d.Ready {
 		s.done, s.dec = true, d
 	}
@@ -375,8 +570,10 @@ func (s *relClassSession) Extend(points []float64) Decision {
 // ForcedLabel implements EarlyClassifier: full-length MAP.
 func (r *RelClass) ForcedLabel(series []float64) int {
 	l := minIntE(len(series), r.full)
-	lp := r.logPosterior(series, l)
-	return r.labels[argmax(lp)]
+	scr := r.getScratch()
+	defer r.scratch.Put(scr)
+	r.logPosteriorInto(scr.lp, series, l)
+	return r.labels[argmax(scr.lp)]
 }
 
 // PosteriorPrefix implements PosteriorProvider.

@@ -122,10 +122,26 @@ func (p *ProbThreshold) decideTop(label int, bestP float64, l int) Decision {
 	return Decision{Label: label, Ready: ready}
 }
 
+// probThresholdLazyMin is the reference-count floor below which the pruned
+// engine serves ProbThreshold sessions from the eager bank instead of the
+// grouped frontier. ProbThreshold resolves *every* class's minimum at every
+// step (the softmin posterior needs them all), so within-class pruning is
+// the frontier's only lever — and on small training sets the lever is
+// weaker than the frontier's own overhead: its per-session footprint
+// (query copy, positions, group tables) and per-step sweep bookkeeping cost
+// more than the blocked eager bank's few dozen rows, which is exactly the
+// BENCH_eval crossover DESIGN.md §Layer 11 documents (pruned 592 µs/94 kB
+// vs eager 478 µs/21 kB at 40 references). Decisions are identical either
+// way — both bank shapes are pinned byte-identical — so this is purely a
+// cost model. A variable, not a constant, so tests can force both regimes.
+var probThresholdLazyMin = 256
+
 // NewIncrementalSession implements IncrementalClassifier with the default
 // (pruned) engine: one lazy nearest-neighbour frontier per class, so each
 // step resolves the per-class nearest distances the softmin posterior needs
-// while references that cannot be class-nearest stay lazily behind. The
+// while references that cannot be class-nearest stay lazily behind — once
+// the reference set is large enough for pruning to pay
+// (probThresholdLazyMin); small banks ride the blocked eager kernel. The
 // eager variant keeps a full ts.PrefixDistBank (O(n · Δl) per step) and
 // reduces the complete distance vector. Both feed the same dense softmin
 // with bit-identical nearest distances — the frontier's per-group minima
@@ -143,7 +159,7 @@ func (p *ProbThreshold) newIncrementalSessionMode(mode EngineMode) IncrementalSe
 		nearest: make([]float64, p.li.classes()),
 		post:    make([]float64, p.li.classes()),
 	}
-	if mode == Eager {
+	if mode == Eager || len(p.refs) < probThresholdLazyMin {
 		s.bank = ts.NewPrefixDistBank(p.refs)
 	} else {
 		s.lazy = ts.NewGroupedLazyPrefixDistBank(p.refs, p.li.classOf, p.li.classes())

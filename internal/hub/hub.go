@@ -460,8 +460,11 @@ func (h *Hub) drain(s *hubStream) {
 // the lock released and drain's recovery can still seal the stream.
 func (s *hubStream) applyBatch(batch []float64) {
 	// Pipeline work happens without holding the lock; the stream's
-	// Online, Suppressor, and window are drain-owned.
-	dets := s.online.PushAll(batch)
+	// Online, Suppressor, and window are drain-owned. The whole queued
+	// batch decodes in one candidate-major pass, so every live session
+	// reaches the blocked extend kernel with multi-point chunks instead of
+	// once per point.
+	dets := s.online.PushBatch(batch)
 	kept := dets[:0]
 	for _, d := range dets {
 		if s.supp.Keep(d) {

@@ -27,6 +27,7 @@ type Online struct {
 	buf        []float64
 	bufStart   int // stream index of buf[0]
 	candidates []*onlineCandidate
+	one        [1]float64 // Push's single-sample batch, so Push never allocates one
 }
 
 type onlineCandidate struct {
@@ -84,29 +85,93 @@ func (o *Online) Pos() int { return o.pos }
 // ActiveCandidates returns the number of live candidate windows.
 func (o *Online) ActiveCandidates() int { return len(o.candidates) }
 
-// Push consumes one sample and returns any detections that fired on it.
+// Push consumes one sample and returns any detections that fired on it. It
+// is the single-sample case of PushBatch (through a struct-owned one-point
+// buffer, so the call itself never allocates).
 func (o *Online) Push(v float64) []Detection {
-	// Open a candidate at every stride boundary. Every candidate gets its
-	// own incremental session from the engine, so each point of the stream
-	// is processed once per live candidate rather than once per (candidate,
-	// opportunity) pair.
-	if o.pos%o.stride == 0 {
+	o.one[0] = v
+	return o.PushBatch(o.one[:])
+}
+
+// PushBatch consumes a batch of samples as one unit and returns all
+// detections that fired within it, in exactly the order point-at-a-time
+// Push calls would have produced them.
+//
+// Instead of walking the candidate list once per point, the batch is
+// processed candidate-major: candidates are opened for every stride
+// boundary the batch crosses, the buffer extends once, and then each live
+// candidate consumes *all* of its decision opportunities in the batch
+// back-to-back — consecutive multi-point Extend calls into the same
+// session, so its bank state stays hot and queued points reach the blocked
+// distance kernel in as few calls as possible.
+//
+// Byte-identity with pointwise Push is structural: a candidate's Extend
+// chunk boundaries are its opportunity lengths (seen → nextLen) in both
+// orders; each candidate fires at most once, on the point DecisionAt =
+// start + nextLen − 1; and pointwise emission order is (DecisionAt asc,
+// then candidate order, which is ascending Start) — so sorting the
+// candidate-major detections by (DecisionAt, Start) reproduces the
+// pointwise transcript exactly. TestOnlinePushBatchMatchesPointwise and
+// FuzzOnlinePush pin it.
+func (o *Online) PushBatch(points []float64) []Detection {
+	// Segment so the live span stays within the construction-time buffer:
+	// after a forced trim the buffer holds at most window points, leaving
+	// room for window+1 more under the 2·(window+1) capacity.
+	if len(points) <= o.window+1 {
+		return o.pushSegment(points)
+	}
+	var out []Detection
+	for len(points) > 0 {
+		n := o.window + 1
+		if n > len(points) {
+			n = len(points)
+		}
+		// Segments are processed in stream order, and every detection's
+		// DecisionAt falls inside its own segment, so concatenation
+		// preserves the global (DecisionAt, Start) order.
+		out = append(out, o.pushSegment(points[:n])...)
+		points = points[n:]
+	}
+	return out
+}
+
+func (o *Online) pushSegment(points []float64) []Detection {
+	if len(points) == 0 {
+		return nil
+	}
+	// Open a candidate at every stride boundary the segment crosses, before
+	// its first point lands (the boundary point belongs to the window).
+	// Every candidate gets its own incremental session from the engine, so
+	// each point of the stream is processed once per live candidate rather
+	// than once per (candidate, opportunity) pair.
+	first := o.pos
+	if r := o.pos % o.stride; r != 0 {
+		first += o.stride - r
+	}
+	for s := first; s < o.pos+len(points); s += o.stride {
 		o.candidates = append(o.candidates, &onlineCandidate{
-			start:   o.pos,
+			start:   s,
 			nextLen: o.step,
 			sess:    etsc.OpenSessionMode(o.classifier, o.engine),
 		})
 	}
-	o.buf = append(o.buf, v)
-	o.pos++
+
+	// A single-point push always fits (the steady-state length bound is
+	// 2·window); a larger batch may need the dead prefix and any expired
+	// span reclaimed up front to stay on the construction-time buffer.
+	if len(o.buf)+len(points) > cap(o.buf) {
+		o.trimTo(o.oldestLive(o.pos))
+	}
+	o.buf = append(o.buf, points...)
+	o.pos += len(points)
 
 	var out []Detection
 	keep := o.candidates[:0]
 	for _, c := range o.candidates {
 		have := o.pos - c.start // points of this candidate's window seen
+		base := c.start - o.bufStart
 		done := false
 		for c.nextLen <= have && c.nextLen <= o.window {
-			base := c.start - o.bufStart
 			d := c.sess.Extend(o.buf[base+c.seen : base+c.nextLen])
 			c.seen = c.nextLen
 			if d.Ready {
@@ -126,6 +191,7 @@ func (o *Online) Push(v float64) []Detection {
 		}
 	}
 	o.candidates = keep
+	sortDetections(out)
 
 	// Trim the buffer to the oldest live candidate (or the last window).
 	// Reclaiming by copy-down — rather than re-slicing the dead prefix away,
@@ -135,29 +201,54 @@ func (o *Online) Push(v float64) []Detection {
 	// trimmed once it reaches min(stride, window), so the length stays under
 	// the preallocated 2·(window+1) capacity while each point is moved at
 	// most once per stride of progress.
-	oldest := o.pos - o.window
-	for _, c := range o.candidates {
-		if c.start < oldest {
-			oldest = c.start
-		}
-	}
+	oldest := o.oldestLive(o.pos)
 	trimAt := o.stride
 	if trimAt > o.window {
 		trimAt = o.window
 	}
 	if oldest-o.bufStart >= trimAt {
-		n := copy(o.buf, o.buf[oldest-o.bufStart:])
-		o.buf = o.buf[:n]
-		o.bufStart = oldest
+		o.trimTo(oldest)
 	}
 	return out
 }
 
-// PushAll consumes a batch of samples and returns all detections.
-func (o *Online) PushAll(stream []float64) []Detection {
-	var out []Detection
-	for _, v := range stream {
-		out = append(out, o.Push(v)...)
+// oldestLive returns the stream index of the oldest sample any live
+// candidate (or the trailing window) can still need.
+func (o *Online) oldestLive(pos int) int {
+	oldest := pos - o.window
+	for _, c := range o.candidates {
+		if c.start < oldest {
+			oldest = c.start
+		}
 	}
-	return out
+	return oldest
+}
+
+// trimTo copies the buffer down so it starts at stream index oldest.
+func (o *Online) trimTo(oldest int) {
+	if oldest <= o.bufStart {
+		return
+	}
+	n := copy(o.buf, o.buf[oldest-o.bufStart:])
+	o.buf = o.buf[:n]
+	o.bufStart = oldest
+}
+
+// sortDetections orders by (DecisionAt, Start) — the pointwise emission
+// order. Batches rarely hold more than a couple of detections, so an
+// in-place insertion sort beats sort.Slice's closure allocation.
+func sortDetections(ds []Detection) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && (ds[j].DecisionAt < ds[j-1].DecisionAt ||
+			(ds[j].DecisionAt == ds[j-1].DecisionAt && ds[j].Start < ds[j-1].Start)); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// PushAll consumes a batch of samples and returns all detections. It is
+// PushBatch; the name survives for the hub and test callers that predate
+// batching.
+func (o *Online) PushAll(stream []float64) []Detection {
+	return o.PushBatch(stream)
 }

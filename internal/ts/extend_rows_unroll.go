@@ -1,0 +1,56 @@
+//go:build etsc_unroll
+
+package ts
+
+// extendD2Rows, unrolled variant (see extend_rows.go for the contract):
+// blocks four rows at a time and additionally unrolls the point loop 2×.
+// The per-row summation stays a strict left-to-right fold — the unrolled
+// body issues the two `a += d*d` updates of each row in point order, never
+// as partial sums — so results remain bit-identical to the scalar kernel
+// and to the default variant; the same battery and fuzz pin both builds.
+func extendD2Rows(acc []float64, points []float64, refs [][]float64, from int) {
+	n := len(points)
+	i := 0
+	for ; i+4 <= len(refs); i += 4 {
+		r0 := refs[i][from : from+n : from+n]
+		r1 := refs[i+1][from : from+n : from+n]
+		r2 := refs[i+2][from : from+n : from+n]
+		r3 := refs[i+3][from : from+n : from+n]
+		a0, a1, a2, a3 := acc[i], acc[i+1], acc[i+2], acc[i+3]
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			x0, x1 := points[j], points[j+1]
+			d00 := x0 - r0[j]
+			a0 += d00 * d00
+			d01 := x1 - r0[j+1]
+			a0 += d01 * d01
+			d10 := x0 - r1[j]
+			a1 += d10 * d10
+			d11 := x1 - r1[j+1]
+			a1 += d11 * d11
+			d20 := x0 - r2[j]
+			a2 += d20 * d20
+			d21 := x1 - r2[j+1]
+			a2 += d21 * d21
+			d30 := x0 - r3[j]
+			a3 += d30 * d30
+			d31 := x1 - r3[j+1]
+			a3 += d31 * d31
+		}
+		for ; j < n; j++ {
+			x := points[j]
+			d0 := x - r0[j]
+			a0 += d0 * d0
+			d1 := x - r1[j]
+			a1 += d1 * d1
+			d2 := x - r2[j]
+			a2 += d2 * d2
+			d3 := x - r3[j]
+			a3 += d3 * d3
+		}
+		acc[i], acc[i+1], acc[i+2], acc[i+3] = a0, a1, a2, a3
+	}
+	for ; i < len(refs); i++ {
+		acc[i] = extendD2(acc[i], points, refs[i][from:from+n])
+	}
+}

@@ -42,6 +42,15 @@ import (
 // wins — in each case exactly the eager scan's strict < over ascending
 // indices. frontier_test.go fuzzes the contract under both strategies; the
 // etsc engine battery pins it end to end.
+//
+// Kernel note: the frontier stays on the scalar extendD2, not the blocked
+// extendD2Rows the eager bank uses. Its catch-up extends are already
+// batched over *points* (one q[at:n] segment per call), but batching over
+// *references* is structurally unavailable here: each reference sits at its
+// own stale position, and the sweep's cutoff tightens between references —
+// resolving rows together would either extend references the cutoff was
+// about to prune or reorder the cutoff updates. Pruning is the frontier's
+// win; the row kernel is the eager bank's.
 
 // frontierSweepMax is the group size up to which frontier groups resolve
 // by linear sweep; larger groups pay the heap's bookkeeping to escape the

@@ -142,10 +142,12 @@ func (p *PrefixDist) ExtendEA(points []float64, cutoff float64) (float64, bool) 
 }
 
 // extendD2 advances a running squared-distance accumulation over one more
-// segment of points against the aligned reference segment. It is the one
-// batch-extend kernel every prefix-distance path shares — the eager
-// PrefixDistBank, the lazy frontier, and (transitively) everything pinned
-// byte-identical to them — so the summation order is load-bearing: a strict
+// segment of points against the aligned reference segment. It is the
+// reference batch-extend kernel every prefix-distance path is pinned
+// against — the lazy frontier calls it directly, the eager PrefixDistBank
+// through its blocked row form extendD2Rows (extend_rows.go), and
+// (transitively) everything byte-identical to them — so the summation order
+// is load-bearing: a strict
 // left-to-right fold, one `acc += d*d` per point, exactly the order the
 // plain loop and SquaredEuclidean use. The 4-way unrolling only amortizes
 // loop and bounds-check overhead; it must never introduce partial sums,
@@ -201,7 +203,10 @@ func (b *PrefixDistBank) Size() int { return len(b.refs) }
 // is owned by the bank; callers must not modify it.
 func (b *PrefixDistBank) D2() []float64 { return b.d2 }
 
-// Extend advances the query prefix by the given points.
+// Extend advances the query prefix by the given points. All references are
+// bounds-checked up front, then the whole bank advances through the blocked
+// extendD2Rows kernel — one batch-of-points × batch-of-references pass,
+// bit-identical per reference to the scalar extendD2 walk.
 func (b *PrefixDistBank) Extend(points []float64) {
 	if len(points) == 0 {
 		return
@@ -211,8 +216,8 @@ func (b *PrefixDistBank) Extend(points []float64) {
 			panic(fmt.Sprintf("ts: PrefixDistBank extension to %d overruns reference %d length %d",
 				b.n+len(points), i, len(ref)))
 		}
-		b.d2[i] = extendD2(b.d2[i], points, ref[b.n:b.n+len(points)])
 	}
+	extendD2Rows(b.d2, points, b.refs, b.n)
 	b.n += len(points)
 }
 
