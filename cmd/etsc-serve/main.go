@@ -127,6 +127,8 @@ func main() {
 		shards     = flag.Int("shards", 1, "number of independent hub shards routed by the stream-ID hash (1 = single flat hub)")
 		scaling    = flag.Bool("scaling", false, "run the shard scaling sweep: shards {1,4,16} × stream counts up to -streams (capped at 100000; -points is the total ingest budget per cell), then exit")
 		metricsOn  = flag.Bool("metrics", true, "server mode: expose Prometheus text exposition at GET /metrics")
+		ckptDir    = flag.String("checkpoint", "", "server mode: durable checkpoint directory — boot restores every stream found there, then a background checkpointer persists all streams periodically and at shutdown")
+		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "server mode: interval between background checkpoint generations (with -checkpoint)")
 		soak       = flag.Bool("soak", false, "run the soak/chaos battery — shed-policy server, bursty pushers, slow/stalled/reconnecting watchers — then exit")
 		quick      = flag.Bool("quick", false, "soak: CI-smoke sizes (seconds, not minutes)")
 	)
@@ -273,6 +275,23 @@ func main() {
 			h.(*hub.Hub).SetMetrics(reg)
 		}
 	}
+	// Durable state: restore whatever the last run checkpointed BEFORE the
+	// listener opens (clients must never race a half-restored fleet), then
+	// keep checkpointing in the background. Corrupt or stale files degrade
+	// to counted fresh-start fallbacks, never a failed boot.
+	var cp *serve.Checkpointer
+	if *ckptDir != "" {
+		st, err := srv.RestoreFromDir(*ckptDir, nil)
+		if err != nil {
+			log.Fatalf("etsc-serve: -checkpoint %s: %v", *ckptDir, err)
+		}
+		log.Printf("etsc-serve: checkpoint restore from %s — %d restored, %d fresh-start fallbacks, %d skipped",
+			*ckptDir, st.Restored, st.Fallbacks, st.Skipped)
+		if cp, err = serve.NewCheckpointer(srv, *ckptDir, *ckptEvery); err != nil {
+			log.Fatalf("etsc-serve: -checkpoint %s: %v", *ckptDir, err)
+		}
+		cp.Start()
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	// Graceful shutdown: SIGINT/SIGTERM stops the listener, drains every
@@ -296,6 +315,18 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("etsc-serve: http shutdown: %v", err)
+	}
+	// Final checkpoint generation: stop the periodic loop, drain every
+	// queue, then persist each stream at its fully-drained position — the
+	// next boot resumes with zero replay.
+	if cp != nil {
+		cp.Stop()
+		h.Flush()
+		if err := cp.Sync(); err != nil {
+			log.Printf("etsc-serve: final checkpoint: %v", err)
+		} else {
+			log.Printf("etsc-serve: final checkpoint generation written to %s", *ckptDir)
+		}
 	}
 	// Per-shard load before the drain clears the maps.
 	if sh != nil {
@@ -370,7 +401,10 @@ func loadgenRemote(w *os.File, base string, kinds []hub.Kind, seed int64, stream
 	fmt.Fprintf(w, "remote load generator → %s: %d streams × %d points, batch=%d, rate=%s\n",
 		base, streams, points, batchSize, rateLabel(rate))
 
-	c, err := client.New(base)
+	// Retries cover transient transport faults and 5xx on the idempotent
+	// calls (list/stats/detach); pushes stay single-shot so backpressure
+	// and drop accounting reflect what the server actually accepted.
+	c, err := client.New(base, client.WithRetry(4, 200*time.Millisecond))
 	if err != nil {
 		return err
 	}

@@ -68,8 +68,10 @@ func run(w io.Writer, quick bool) error {
 	base := "http://" + ln.Addr().String()
 	fmt.Fprintf(w, "etsc-serve up at %s (kinds: chicken, gunpoint, words)\n\n", base)
 
-	// Everything below is the remote side: typed client only.
-	c, err := client.New(base)
+	// Everything below is the remote side: typed client only. WithRetry
+	// rides out transient transport faults on the idempotent calls (list,
+	// poll, detach) the way a real dashboard client should.
+	c, err := client.New(base, client.WithRetry(3, 100*time.Millisecond))
 	if err != nil {
 		return err
 	}

@@ -46,6 +46,14 @@ const (
 	CodeNotFound ErrorCode = "not_found"
 	// CodeTooLarge — the request body exceeds the per-request cap.
 	CodeTooLarge ErrorCode = "too_large"
+	// CodeBadSnapshot — a stream snapshot failed validation: corrupt
+	// bytes, a format/version mismatch, or state that does not match the
+	// target stream's configuration. The snapshot was not applied.
+	CodeBadSnapshot ErrorCode = "bad_snapshot"
+	// CodeGap — a positioned push starts beyond the stream's ingest
+	// watermark: accepting it would leave a hole in the series. Replay
+	// from the watermark (the stream's current position) instead.
+	CodeGap ErrorCode = "gap"
 	// CodeClosed — the hub is shutting down.
 	CodeClosed ErrorCode = "closed"
 	// CodeInternal — unexpected server-side failure.
@@ -126,6 +134,12 @@ type StreamList struct {
 // PushRequest is the batch-ingest body (POST /v1/streams/{id}/push).
 type PushRequest struct {
 	Points []float64 `json:"points"`
+	// At, when set, is the absolute stream position of Points[0] — the
+	// idempotent replay form (hub.PushAt). Points at positions the stream
+	// has already accepted are skipped, so re-sending a positioned batch
+	// after a lost response is safe; a position beyond the stream's ingest
+	// watermark fails with CodeGap (nothing may be skipped over).
+	At *int `json:"at,omitempty"`
 }
 
 // PushResponse acknowledges an accepted batch.
@@ -165,6 +179,23 @@ type WatchFrame struct {
 	Next      int               `json:"next"`
 	Detection *stream.Detection `json:"detection,omitempty"`
 	Final     bool              `json:"final,omitempty"`
+}
+
+// StreamSnapshot is a stream's durable state as served by
+// GET /v1/streams/{id}/snapshot and accepted back by POST to the same
+// path. State is the opaque, self-validating hub snapshot frame
+// (CRC-protected and version-tagged; base64 on the wire via
+// encoding/json). Kind, Spec, and Engine describe how to rebuild the
+// trained classifier — models are deliberately NOT serialized; the
+// restoring server retrains from its own kind registry and the snapshot
+// carries only runtime state (see DESIGN.md §Layer 12).
+type StreamSnapshot struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Spec     string `json:"spec"`
+	Engine   string `json:"engine"`
+	Position int    `json:"position"`
+	State    []byte `json:"state"`
 }
 
 // StreamReport is the final state DELETE /v1/streams/{id} returns; the

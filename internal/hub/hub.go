@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"etsc/internal/etsc"
@@ -84,6 +85,16 @@ var (
 	ErrUnknownStream = errors.New("hub: unknown stream")
 	ErrDuplicate     = errors.New("hub: stream already attached")
 	ErrDropped       = errors.New("hub: batch dropped, stream queue full")
+	// ErrGap rejects a positioned push (PushAt) whose offset lies beyond the
+	// stream's accepted-point watermark: admitting it would silently skip
+	// the missing points. Replays at or behind the watermark are fine — the
+	// overlap is deduplicated, which is what makes crash-recovery replay
+	// idempotent.
+	ErrGap = errors.New("hub: positioned push beyond the stream's ingest watermark")
+	// ErrBadSnapshot rejects a Restore whose snapshot decodes but does not
+	// match the supplied stream config (wrong classifier window, verifier
+	// presence, or duplicate/foreign stream ID).
+	ErrBadSnapshot = errors.New("hub: snapshot does not match the stream config")
 )
 
 // Config sizes the hub.
@@ -201,12 +212,22 @@ type hubStream struct {
 	free     [][]float64 // drained batch buffers for Push to reuse
 	running  bool
 	detached bool
-	stats    StreamStats
-	dets     []stream.Detection
-	pend     []int // indices into dets awaiting full-window verification
-	settled  int   // prefix of dets whose Recanted flags are committed-final
-	tail     []float64
-	tailAt   int // stream position of tail[0]
+	// pause holds drains off the stream while a snapshot export reads its
+	// pipeline state: the active drain yields within one batch, no new drain
+	// starts, and the last exporter out resubmits the drain if work queued
+	// up meanwhile. Pushes keep being accepted throughout.
+	pause int
+	// ingest is the accepted-point watermark: total points admitted to the
+	// queue (applied or not). Positioned pushes (PushAt) dedup against it,
+	// so replaying a prefix of already-accepted points is a no-op instead of
+	// double-feeding the pipeline.
+	ingest  int
+	stats   StreamStats
+	dets    []stream.Detection
+	pend    []int // indices into dets awaiting full-window verification
+	settled int   // prefix of dets whose Recanted flags are committed-final
+	tail    []float64
+	tailAt  int // stream position of tail[0]
 
 	// Watch machinery: notify is closed-and-replaced whenever the settled
 	// prefix advances or the stream finalizes (a broadcast every blocked
@@ -316,6 +337,27 @@ func (h *Hub) Attach(id string, sc StreamConfig) error {
 // surface asynchronously via Detections/Snapshot after the drain worker
 // applies the batch; Flush waits for that.
 func (h *Hub) Push(id string, points []float64) error {
+	return h.push(id, -1, points)
+}
+
+// PushAt is Push with an explicit stream offset: at is the stream index of
+// points[0] in accepted-point coordinates (StreamStats.Position plus any
+// still-queued points — the ingest watermark). Points at or before the
+// watermark are deduplicated, so replaying a checkpoint's tail after a
+// crash — including pushing the same batch twice — feeds each point to the
+// pipeline exactly once; a batch starting beyond the watermark fails with
+// ErrGap. Under the Shed policy evicted batches leave holes in the
+// coordinate space, so positioned replay is only exact for Block and Drop.
+func (h *Hub) PushAt(id string, at int, points []float64) error {
+	if at < 0 {
+		return fmt.Errorf("%w: negative position %d", ErrGap, at)
+	}
+	return h.push(id, at, points)
+}
+
+// push is the shared admission path: at < 0 is an unpositioned append
+// (Push), at >= 0 a positioned, deduplicated write (PushAt).
+func (h *Hub) push(id string, at int, points []float64) error {
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -371,6 +413,20 @@ func (h *Hub) Push(id string, points []float64) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownStream, id)
 	}
+	if at >= 0 {
+		// Positioned write: clip the prefix already at or behind the
+		// watermark (idempotent replay), reject anything past it (a gap).
+		if at > s.ingest {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %q at %d, watermark %d", ErrGap, id, at, s.ingest)
+		}
+		if skip := s.ingest - at; skip >= len(points) {
+			s.mu.Unlock()
+			return nil // wholly behind the watermark: already accepted
+		} else if skip > 0 {
+			points = points[skip:]
+		}
+	}
 	var batch []float64
 	if k := len(s.free); k > 0 {
 		batch = s.free[k-1][:0]
@@ -379,8 +435,9 @@ func (h *Hub) Push(id string, points []float64) error {
 	}
 	batch = append(batch, points...)
 	s.queue = append(s.queue, batch)
+	s.ingest += len(batch)
 	s.stats.QueuedBatches = len(s.queue)
-	if !s.running {
+	if !s.running && s.pause == 0 {
 		s.running = true
 		h.pool.Submit(func() { h.drain(s) })
 	}
@@ -434,6 +491,15 @@ func (h *Hub) drain(s *hubStream) {
 			s.free = append(s.free, done)
 			done = nil
 		}
+		if s.pause > 0 {
+			// A snapshot export wants the pipeline state quiescent: yield
+			// between batches. The exporter resubmits the drain when it
+			// releases the pause and work remains queued.
+			s.running = false
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
 		if len(s.queue) == 0 {
 			s.running = false
 			s.cond.Broadcast()
@@ -447,10 +513,25 @@ func (h *Hub) drain(s *hubStream) {
 		s.cond.Broadcast() // free space for blocked pushers
 		s.mu.Unlock()
 
+		if kill := testDrainKill.Load(); kill != nil && (*kill)(s.id) {
+			// Fault injection (tests only): vanish mid-batch like a killed
+			// process — the dequeued batch is lost, running stays true so
+			// the stream freezes exactly as a SIGKILL would leave it. Only
+			// the crash-recovery battery installs this hook.
+			return
+		}
+
 		s.applyBatch(batch)
 		done = batch
 	}
 }
+
+// testDrainKill, when non-nil, is consulted with the stream ID before each
+// batch is applied; returning true makes the drain worker vanish without
+// cleanup, simulating a process kill mid-drain. Only the crash-recovery
+// battery installs it (an atomic pointer so installing and clearing it
+// cannot race with drains already in flight).
+var testDrainKill atomic.Pointer[func(string) bool]
 
 // applyBatch runs one batch through the stream's pipeline. The classifier
 // and the verifier both run without the lock (the verifier's NN scan is

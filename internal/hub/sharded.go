@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"etsc/internal/metrics"
 	"etsc/internal/par"
@@ -62,6 +64,13 @@ type ShardTotals struct {
 // concurrent use.
 type ShardedHub struct {
 	shards []*Hub
+
+	// overrides maps migrated stream IDs to their current shard. Routing
+	// reads it lock-free (an atomic pointer to an immutable map; nil while
+	// no stream has ever migrated, so the hash-only hot path pays one
+	// atomic load and a nil check). Writers copy-on-write under ovMu.
+	ovMu      sync.Mutex
+	overrides atomic.Pointer[map[string]int]
 }
 
 // NewSharded builds a sharded hub. The zero ShardedConfig is usable: one
@@ -99,8 +108,16 @@ func (sh *ShardedHub) Shards() int { return len(sh.shards) }
 
 // ShardFor returns the shard index owning id — the routing half of the
 // hash contract, exported so serving layers can report (and external
-// routers precompute) stream placement.
-func (sh *ShardedHub) ShardFor(id string) int { return shardIndex(id, len(sh.shards)) }
+// routers precompute) stream placement. Streams moved by Migrate are
+// routed to their current shard, which takes precedence over the hash.
+func (sh *ShardedHub) ShardFor(id string) int {
+	if ov := sh.overrides.Load(); ov != nil {
+		if i, ok := (*ov)[id]; ok {
+			return i
+		}
+	}
+	return shardIndex(id, len(sh.shards))
+}
 
 // shardIndex is FNV-1a(id) mod n, inlined over the string so the Push hot
 // path hashes without allocating.
@@ -118,7 +135,32 @@ func shardIndex(id string, n int) int {
 }
 
 // shard returns the Hub owning id.
-func (sh *ShardedHub) shard(id string) *Hub { return sh.shards[shardIndex(id, len(sh.shards))] }
+func (sh *ShardedHub) shard(id string) *Hub { return sh.shards[sh.ShardFor(id)] }
+
+// setOverride records (or, with to < 0, clears) a stream's placement
+// override. Copy-on-write: routing keeps reading the previous immutable
+// map until the swap.
+func (sh *ShardedHub) setOverride(id string, to int) {
+	sh.ovMu.Lock()
+	defer sh.ovMu.Unlock()
+	old := sh.overrides.Load()
+	next := make(map[string]int)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	if to < 0 {
+		delete(next, id)
+	} else {
+		next[id] = to
+	}
+	if len(next) == 0 {
+		sh.overrides.Store(nil)
+		return
+	}
+	sh.overrides.Store(&next)
+}
 
 // Attach registers a new stream under id on its hash-owned shard.
 func (sh *ShardedHub) Attach(id string, sc StreamConfig) error { return sh.shard(id).Attach(id, sc) }
@@ -127,8 +169,76 @@ func (sh *ShardedHub) Attach(id string, sc StreamConfig) error { return sh.shard
 // lock and map — pushes to streams on different shards never contend.
 func (sh *ShardedHub) Push(id string, points []float64) error { return sh.shard(id).Push(id, points) }
 
-// Detach drains, finalizes, and removes a stream from its shard.
-func (sh *ShardedHub) Detach(id string) (StreamReport, error) { return sh.shard(id).Detach(id) }
+// Detach drains, finalizes, and removes a stream from its shard. A
+// placement override left by Migrate is cleared, so a later stream reusing
+// the ID hashes fresh.
+func (sh *ShardedHub) Detach(id string) (StreamReport, error) {
+	rep, err := sh.shard(id).Detach(id)
+	if err == nil && sh.overrides.Load() != nil {
+		sh.setOverride(id, -1)
+	}
+	return rep, err
+}
+
+// PushAt is Hub.PushAt routed to the stream's shard: a positioned,
+// watermark-deduplicated write for checkpoint replay.
+func (sh *ShardedHub) PushAt(id string, at int, points []float64) error {
+	return sh.shard(id).PushAt(id, at, points)
+}
+
+// Export serializes a stream's live state from its owning shard without
+// disturbing it.
+func (sh *ShardedHub) Export(id string) ([]byte, error) { return sh.shard(id).Export(id) }
+
+// Restore attaches a stream rebuilt from a snapshot onto its hash-owned
+// shard (any stale migration override for the ID is dropped first — a
+// restore is a fresh placement).
+func (sh *ShardedHub) Restore(data []byte, sc StreamConfig) (string, error) {
+	id, _, err := SnapshotInfo(data)
+	if err != nil {
+		return "", err
+	}
+	if sh.overrides.Load() != nil {
+		sh.setOverride(id, -1)
+	}
+	return sh.shards[shardIndex(id, len(sh.shards))].Restore(data, sc)
+}
+
+// Migrate moves a live stream to another shard: export-and-remove from the
+// source (pending verifications travel inside the snapshot, not recanted),
+// restore on the target, and record the placement override that routes
+// every later Push/read to the new shard. sc supplies the classifier and
+// verifier exactly as Restore requires. Between removal and restore the
+// stream briefly reports ErrUnknownStream; pushers that see it retry and
+// watchers reconnect with ?since, both landing on the new shard. If the
+// target restore fails, the stream is restored back onto its source shard
+// and the error returned. Migrating a stream to the shard it already
+// occupies is a no-op.
+func (sh *ShardedHub) Migrate(id string, toShard int, sc StreamConfig) error {
+	if toShard < 0 || toShard >= len(sh.shards) {
+		return fmt.Errorf("hub: migrate target shard %d outside 0..%d", toShard, len(sh.shards)-1)
+	}
+	from := sh.ShardFor(id)
+	if from == toShard {
+		return nil
+	}
+	data, err := sh.shards[from].exportRemove(id)
+	if err != nil {
+		return err
+	}
+	if _, err := sh.shards[toShard].Restore(data, sc); err != nil {
+		if _, backErr := sh.shards[from].Restore(data, sc); backErr != nil {
+			return fmt.Errorf("hub: migrate %q failed (%v) and restore-back failed too: %w", id, err, backErr)
+		}
+		return err
+	}
+	if toShard == shardIndex(id, len(sh.shards)) {
+		sh.setOverride(id, -1) // moved home: the hash suffices again
+	} else {
+		sh.setOverride(id, toShard)
+	}
+	return nil
+}
 
 // Detections returns a copy of a stream's detection transcript so far.
 func (sh *ShardedHub) Detections(id string) ([]stream.Detection, error) {

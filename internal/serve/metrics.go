@@ -98,6 +98,23 @@ func (s *Server) EnableMetrics(reg *metrics.Registry) *metrics.Registry {
 			emit(float64(n))
 		})
 
+	reg.Collect("etsc_checkpoint_writes_total", "Checkpoint files written by the background checkpointer.", metrics.TypeCounter,
+		func(emit func(float64, ...metrics.Label)) {
+			emit(float64(s.ckptWrites.Load()))
+		})
+	reg.Collect("etsc_checkpoint_restored_total", "Streams restored from checkpoints at boot.", metrics.TypeCounter,
+		func(emit func(float64, ...metrics.Label)) {
+			emit(float64(s.ckptRestored.Load()))
+		})
+	reg.Collect("etsc_checkpoint_fallbacks_total", "Checkpoints whose state was rejected at boot; stream restarted fresh.", metrics.TypeCounter,
+		func(emit func(float64, ...metrics.Label)) {
+			emit(float64(s.ckptFallbacks.Load()))
+		})
+	reg.Collect("etsc_checkpoint_skipped_total", "Checkpoint files skipped at boot as undecodable or unservable.", metrics.TypeCounter,
+		func(emit func(float64, ...metrics.Label)) {
+			emit(float64(s.ckptSkipped.Load()))
+		})
+
 	reg.Collect("etsc_kind_detections_total", "Detections per served kind, across its live streams.", metrics.TypeCounter,
 		func(emit func(float64, ...metrics.Label)) {
 			for kind, n := range s.kindDetections() {

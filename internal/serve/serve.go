@@ -6,9 +6,11 @@
 //	POST   /v1/streams            register a stream (kind or spec, engine, geometry)
 //	GET    /v1/streams            list streams with live stats
 //	GET    /v1/streams/{id}       one stream's description
-//	POST   /v1/streams/{id}/push  batch ingest {"points":[...]}
+//	POST   /v1/streams/{id}/push  batch ingest {"points":[...]}; +"at" = positioned replay
 //	DELETE /v1/streams/{id}       detach; returns the final report
 //	GET    /v1/streams/{id}/watch live settled-detection feed (SSE; ?format=ndjson)
+//	GET    /v1/streams/{id}/snapshot   export the stream's durable state
+//	POST   /v1/streams/{id}/snapshot   recreate a stream from a snapshot
 //	GET    /v1/stats              hub totals
 //	GET    /v1/detections?stream=ID&since=N   cursor-paged detections
 //	GET    /metrics               Prometheus text exposition (after EnableMetrics)
@@ -32,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"etsc/internal/client"
 	"etsc/internal/etsc"
@@ -52,6 +55,9 @@ const maxBody = 32 << 20
 type streamHub interface {
 	Attach(id string, sc hub.StreamConfig) error
 	Push(id string, points []float64) error
+	PushAt(id string, at int, points []float64) error
+	Export(id string) ([]byte, error)
+	Restore(data []byte, sc hub.StreamConfig) (string, error)
 	Detach(id string) (hub.StreamReport, error)
 	Snapshot() map[string]hub.StreamStats
 	Stats() hub.Totals
@@ -77,6 +83,12 @@ type Server struct {
 
 	mu   sync.Mutex
 	meta map[string]streamMeta
+
+	// Checkpoint counters (see checkpoint.go); exposed via /metrics.
+	ckptWrites    atomic.Int64
+	ckptRestored  atomic.Int64
+	ckptFallbacks atomic.Int64
+	ckptSkipped   atomic.Int64
 }
 
 // streamMeta is the registration-time description of an attached stream.
@@ -182,6 +194,15 @@ func (s *Server) handleV1(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.v1Push(w, r, seg[1])
+	case len(seg) == 3 && seg[0] == "streams" && seg[1] != "" && seg[2] == "snapshot":
+		switch r.Method {
+		case http.MethodGet:
+			s.v1SnapshotStream(w, seg[1])
+		case http.MethodPost:
+			s.v1RestoreStream(w, r, seg[1])
+		default:
+			writeAPIError(w, methodNotAllowed(r, http.MethodGet, http.MethodPost))
+		}
 	case len(seg) == 3 && seg[0] == "streams" && seg[1] != "" && seg[2] == "watch":
 		if r.Method != http.MethodGet {
 			writeAPIError(w, methodNotAllowed(r, http.MethodGet))
@@ -339,10 +360,27 @@ func (s *Server) v1Push(w http.ResponseWriter, r *http.Request, id string) {
 		writeAPIError(w, apiErr)
 		return
 	}
-	err := s.hub.Push(id, req.Points)
+	var err error
+	if req.At != nil {
+		// Positioned replay: points below the stream's watermark are
+		// skipped, a gap beyond it is refused — see client.PushRequest.At.
+		if *req.At < 0 {
+			writeAPIError(w, badRequest(fmt.Sprintf("bad at=%d: want a non-negative position", *req.At)))
+			return
+		}
+		err = s.hub.PushAt(id, *req.At, req.Points)
+	} else {
+		err = s.hub.Push(id, req.Points)
+	}
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, client.PushResponse{Stream: id, Queued: len(req.Points)})
+	case errors.Is(err, hub.ErrGap):
+		writeAPIError(w, &client.APIError{
+			Status:  http.StatusConflict,
+			Code:    client.CodeGap,
+			Message: err.Error(),
+		})
 	case errors.Is(err, hub.ErrDropped):
 		// Backpressure is the Drop policy doing its job: tell the client
 		// to retry the whole batch after the drain catches up.
@@ -413,6 +451,113 @@ func (s *Server) v1DeleteStream(w http.ResponseWriter, id string) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// v1SnapshotStream exports a stream's durable state
+// (GET /v1/streams/{id}/snapshot). The export cuts at a batch boundary
+// and the stream keeps running; the body carries the opaque
+// self-validating hub frame plus the kind/spec/engine the restoring
+// server needs to rebuild the trained classifier — models are not
+// serialized (DESIGN.md §Layer 12).
+func (s *Server) v1SnapshotStream(w http.ResponseWriter, id string) {
+	data, err := s.hub.Export(id)
+	switch {
+	case err == nil:
+	case errors.Is(err, hub.ErrClosed):
+		writeAPIError(w, hubClosed(err))
+		return
+	default:
+		writeAPIError(w, unknownStream(id))
+		return
+	}
+	_, pos, err := hub.SnapshotInfo(data)
+	if err != nil {
+		writeAPIError(w, &client.APIError{
+			Status:  http.StatusInternalServerError,
+			Code:    client.CodeInternal,
+			Message: fmt.Sprintf("exported snapshot failed self-validation: %v", err),
+		})
+		return
+	}
+	s.mu.Lock()
+	m := s.meta[id]
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, client.StreamSnapshot{
+		ID: id, Kind: m.kind, Spec: m.spec, Engine: m.engine,
+		Position: pos, State: data,
+	})
+}
+
+// v1RestoreStream recreates a stream from an exported snapshot
+// (POST /v1/streams/{id}/snapshot). The classifier is retrained from the
+// named kind (and spec override, when one was used) through the same
+// pipeline as registration; the snapshot's state frame then restores the
+// runtime position, open candidates, transcript, and watch boundary.
+// Corrupt or mismatched state fails with CodeBadSnapshot and attaches
+// nothing.
+func (s *Server) v1RestoreStream(w http.ResponseWriter, r *http.Request, id string) {
+	var req client.StreamSnapshot
+	if apiErr := decodeJSON(r, w, &req); apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	if req.ID != "" && req.ID != id {
+		writeAPIError(w, badRequest(fmt.Sprintf("snapshot id %q does not match path id %q", req.ID, id)))
+		return
+	}
+	if strings.Contains(id, "/") || id == "." || id == ".." {
+		writeAPIError(w, badRequest(fmt.Sprintf("stream id %q must be a single path segment", id)))
+		return
+	}
+	// The state frame names its stream; a mismatch means the caller mixed
+	// up snapshots, which the typed error should say before the hub's own
+	// validation runs.
+	sid, _, err := hub.SnapshotInfo(req.State)
+	if err != nil {
+		writeAPIError(w, badSnapshot(err))
+		return
+	}
+	if sid != id {
+		writeAPIError(w, badSnapshot(fmt.Errorf("state frame is for stream %q, not %q", sid, id)))
+		return
+	}
+	kindName := req.Kind
+	if kindName == "" {
+		kindName = s.deflt
+	}
+	kind, ok := s.kinds[kindName]
+	if !ok {
+		writeAPIError(w, &client.APIError{
+			Status:  http.StatusBadRequest,
+			Code:    client.CodeUnknownKind,
+			Message: fmt.Sprintf("unknown kind %q (served: %s)", kindName, strings.Join(s.KindNames(), ", ")),
+		})
+		return
+	}
+	sc := kind.Config
+	specStr := kind.Spec.String()
+	if req.Spec != "" && req.Spec != specStr {
+		override, err := specStreamConfig(kind, req.Spec)
+		if err != nil {
+			writeAPIError(w, &client.APIError{
+				Status:  http.StatusBadRequest,
+				Code:    client.CodeBadSpec,
+				Message: err.Error(),
+			})
+			return
+		}
+		sc = override
+		specStr = req.Spec
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.hub.Restore(req.State, sc); err != nil {
+		writeAPIError(w, restoreError(err))
+		return
+	}
+	s.meta[id] = streamMeta{kind: kind.Name, spec: specStr, engine: req.Engine}
+	stats := s.hub.Snapshot()[id]
+	writeJSON(w, http.StatusCreated, s.infoLocked(id, stats))
+}
+
 // specStreamConfig renders a kind's StreamConfig with its classifier
 // replaced by one trained from spec against the kind's training set — the
 // exact pipeline a /v1 registration with a spec override runs.
@@ -464,6 +609,24 @@ func unknownStream(id string) *client.APIError {
 
 func hubClosed(err error) *client.APIError {
 	return &client.APIError{Status: http.StatusServiceUnavailable, Code: client.CodeClosed, Message: err.Error()}
+}
+
+func badSnapshot(err error) *client.APIError {
+	return &client.APIError{Status: http.StatusBadRequest, Code: client.CodeBadSnapshot, Message: err.Error()}
+}
+
+// restoreError maps a hub.Restore failure onto the wire contract:
+// validation failures are CodeBadSnapshot, an occupied id is the same
+// conflict as a duplicate registration, a closing hub is CodeClosed.
+func restoreError(err error) *client.APIError {
+	switch {
+	case errors.Is(err, hub.ErrDuplicate):
+		return &client.APIError{Status: http.StatusConflict, Code: client.CodeDuplicateStream, Message: err.Error()}
+	case errors.Is(err, hub.ErrClosed):
+		return hubClosed(err)
+	default:
+		return badSnapshot(err)
+	}
 }
 
 func attachError(err error) *client.APIError {

@@ -1,0 +1,380 @@
+// Package snap is the binary snapshot codec behind durable stream state:
+// a small, dependency-free writer/reader pair for the primitive values the
+// session, monitor, and hub layers serialize, plus a self-validating frame
+// (magic, format version, payload kind, CRC32) wrapped around every
+// snapshot that leaves the process.
+//
+// JSON is deliberately not used: live accumulator state legitimately holds
+// NaN and ±Inf (stream data is arbitrary, and the distance banks propagate
+// whatever arrives), which encoding/json rejects. Floats are serialized as
+// their IEEE-754 bit patterns, so a restored accumulator is bit-identical
+// to the one exported — the foundation of the crash-recovery battery's
+// byte-identical-transcript proof.
+//
+// Robustness contract: Decode and Reader never panic, whatever bytes they
+// are fed. The reader is sticky — the first malformed read poisons it, and
+// every subsequent read returns a zero value — so decoding layers can read
+// a whole struct and check Err once. Length-prefixed reads are bounded by
+// the bytes actually remaining, so corrupt counts cannot trigger huge
+// allocations.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Frame errors. Decode wraps them with positional detail; callers match
+// with errors.Is.
+var (
+	// ErrTruncated — the data ends before the encoded structure does.
+	ErrTruncated = errors.New("snap: truncated")
+	// ErrBadMagic — the data does not start with the snapshot magic.
+	ErrBadMagic = errors.New("snap: bad magic")
+	// ErrChecksum — the CRC32 footer does not match the framed bytes.
+	ErrChecksum = errors.New("snap: checksum mismatch")
+	// ErrVersion — the frame's format version is not supported.
+	ErrVersion = errors.New("snap: unsupported format version")
+	// ErrCorrupt — a structurally invalid payload (bad count, bad bool,
+	// trailing garbage, out-of-range value).
+	ErrCorrupt = errors.New("snap: corrupt payload")
+)
+
+// magic opens every frame. Four bytes, never reused for another format.
+const magic = "ESNP"
+
+// FormatVersion is the frame layout version Encode writes and Decode
+// accepts. Layer payloads carry their own kind-specific versions on top;
+// this one only changes if the frame layout itself (magic, CRC, length
+// encoding) changes.
+const FormatVersion = 1
+
+// Writer accumulates a payload. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload. The slice aliases the writer's
+// buffer; frame it with Encode (which copies) before storing it.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint appends a signed (zig-zag) varint.
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// Int appends an int as a signed varint.
+func (w *Writer) Int(v int) { w.Varint(int64(v)) }
+
+// Int64 appends an int64 as a signed varint.
+func (w *Writer) Int64(v int64) { w.Varint(v) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+}
+
+// Byte appends one raw byte (kind/flavor tags).
+func (w *Writer) Byte(v byte) { w.buf = append(w.buf, v) }
+
+// Float appends a float64 as its IEEE-754 bits, little-endian — exact for
+// every value including NaN payloads and ±Inf.
+func (w *Writer) Float(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Blob appends a length-prefixed byte slice.
+func (w *Writer) Blob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Floats appends a length-prefixed []float64.
+func (w *Writer) Floats(v []float64) {
+	w.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		w.Float(x)
+	}
+}
+
+// Ints appends a length-prefixed []int of signed varints.
+func (w *Writer) Ints(v []int) {
+	w.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		w.Int(x)
+	}
+}
+
+// Reader decodes a payload written by Writer. The first malformed read
+// sets a sticky error; all subsequent reads return zero values, so a
+// decoder can read a full structure and check Err once at the end. Reader
+// never panics on malformed input.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps payload bytes for reading.
+func NewReader(payload []byte) *Reader {
+	return &Reader{buf: payload}
+}
+
+// Err returns the sticky decode error, nil while the reads are clean.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Done returns ErrCorrupt when undecoded bytes remain (trailing garbage),
+// otherwise the sticky error state.
+func (r *Reader) Done() error {
+	if r.err == nil && r.Remaining() != 0 {
+		r.fail(fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Remaining()))
+	}
+	return r.err
+}
+
+// Fail poisons the reader with a decode error from a higher layer (an
+// out-of-range field, a failed invariant), so layered decoders surface
+// their own validation failures through the same sticky channel.
+func (r *Reader) Fail(err error) {
+	r.fail(err)
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(fmt.Errorf("%w: bad uvarint at offset %d", ErrTruncated, r.off))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(fmt.Errorf("%w: bad varint at offset %d", ErrTruncated, r.off))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a signed varint as an int.
+func (r *Reader) Int() int {
+	v := r.Varint()
+	if int64(int(v)) != v {
+		r.fail(fmt.Errorf("%w: %d overflows int", ErrCorrupt, v))
+		return 0
+	}
+	return int(v)
+}
+
+// Int64 reads a signed varint as an int64.
+func (r *Reader) Int64() int64 { return r.Varint() }
+
+// Bool reads one byte that must be 0 or 1.
+func (r *Reader) Bool() bool {
+	b := r.Byte()
+	if r.err != nil {
+		return false
+	}
+	if b > 1 {
+		r.fail(fmt.Errorf("%w: bool byte %d", ErrCorrupt, b))
+		return false
+	}
+	return b == 1
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 1 {
+		r.fail(fmt.Errorf("%w: byte at offset %d", ErrTruncated, r.off))
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Float reads a float64 from its IEEE-754 bits.
+func (r *Reader) Float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail(fmt.Errorf("%w: float at offset %d", ErrTruncated, r.off))
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+// count reads a length prefix bounded by the bytes a slice of n elements
+// of at least elemSize bytes each could actually occupy — a corrupt count
+// fails here instead of driving a huge allocation.
+func (r *Reader) count(elemSize int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.Remaining()/elemSize) {
+		r.fail(fmt.Errorf("%w: count %d exceeds %d remaining bytes", ErrCorrupt, n, r.Remaining()))
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.count(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Blob reads a length-prefixed byte slice (copied out of the buffer).
+func (r *Reader) Blob() []byte {
+	n := r.count(1)
+	if r.err != nil {
+		return nil
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return b
+}
+
+// Floats reads a length-prefixed []float64.
+func (r *Reader) Floats() []float64 {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Ints reads a length-prefixed []int.
+func (r *Reader) Ints() []int {
+	n := r.count(1)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Encode frames a payload for storage or the wire:
+//
+//	magic(4) | format version(uvarint) | kind(string) |
+//	payload version(uvarint) | payload(blob) | crc32(4, IEEE, all prior bytes)
+//
+// kind names the payload's schema (e.g. "etsc-stream-state") and version
+// is that schema's own version, so every layer evolves its payload without
+// touching the frame.
+func Encode(kind string, version uint16, payload []byte) []byte {
+	w := Writer{buf: make([]byte, 0, len(payload)+len(kind)+16)}
+	w.buf = append(w.buf, magic...)
+	w.Uvarint(FormatVersion)
+	w.String(kind)
+	w.Uvarint(uint64(version))
+	w.Blob(payload)
+	sum := crc32.ChecksumIEEE(w.buf)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, sum)
+	return w.buf
+}
+
+// Decode validates and opens a frame, returning the payload kind, the
+// payload's schema version, and the payload bytes. It never panics:
+// malformed input returns ErrBadMagic, ErrVersion, ErrChecksum,
+// ErrTruncated, or ErrCorrupt (all wrapped with detail). The returned
+// payload aliases data.
+func Decode(data []byte) (kind string, version uint16, payload []byte, err error) {
+	if len(data) < len(magic)+4 {
+		return "", 0, nil, fmt.Errorf("%w: %d bytes is below the minimum frame size", ErrTruncated, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return "", 0, nil, fmt.Errorf("%w: got %q", ErrBadMagic, data[:len(magic)])
+	}
+	body, foot := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(foot), crc32.ChecksumIEEE(body); got != want {
+		return "", 0, nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, got, want)
+	}
+	r := NewReader(body[len(magic):])
+	if v := r.Uvarint(); r.Err() == nil && v != FormatVersion {
+		return "", 0, nil, fmt.Errorf("%w: frame version %d (this build reads %d)", ErrVersion, v, FormatVersion)
+	}
+	kind = r.String()
+	ver := r.Uvarint()
+	if r.Err() == nil && ver > math.MaxUint16 {
+		r.Fail(fmt.Errorf("%w: payload version %d overflows uint16", ErrCorrupt, ver))
+	}
+	// Alias instead of Blob's copy: frames are decoded far more often than
+	// they are built, and the caller owns data.
+	n := r.count(1)
+	if r.Err() != nil {
+		return "", 0, nil, r.Err()
+	}
+	payload = r.buf[r.off : r.off+n]
+	r.off += n
+	if err := r.Done(); err != nil {
+		return "", 0, nil, err
+	}
+	return kind, uint16(ver), payload, nil
+}

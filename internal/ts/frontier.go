@@ -153,6 +153,13 @@ func newLazyBank(refs [][]float64, groupOf []int32, groups int) *LazyPrefixDistB
 // Len returns the prefix length accumulated so far.
 func (b *LazyPrefixDistBank) Len() int { return len(b.query) }
 
+// Query returns the full query prefix accumulated so far. The slice is
+// owned by the bank; callers must not modify it. A snapshot of a lazy bank
+// is its query — replaying it through a fresh bank's Extend reproduces the
+// frontier state exactly (the per-row fold is strictly left-to-right, so
+// the rebuilt accumulators are bit-identical however the points arrived).
+func (b *LazyPrefixDistBank) Query() []float64 { return b.query }
+
 // Size returns the number of reference series.
 func (b *LazyPrefixDistBank) Size() int { return len(b.refs) }
 
