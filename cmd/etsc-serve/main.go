@@ -378,8 +378,8 @@ func loadgen(w *os.File, h ingestHub, kinds []hub.Kind, seed int64, streams, poi
 		}
 	}
 
-	res := driveStreams(gens, batchSize, rate, func(g hub.DemoStream, batch []float64) error {
-		return h.Push(g.ID, batch)
+	res := driveStreams(gens, batchSize, rate, func(g hub.DemoStream, batch []float64) (string, error) {
+		return "", h.Push(g.ID, batch)
 	})
 	h.Flush()
 	ingestWall := time.Since(res.start)
@@ -419,15 +419,17 @@ func loadgenRemote(w *os.File, base string, kinds []hub.Kind, seed int64, stream
 		}
 	}
 
-	res := driveStreams(gens, batchSize, rate, func(g hub.DemoStream, batch []float64) error {
-		_, err := c.Push(ctx, g.ID, batch)
+	res := driveStreams(gens, batchSize, rate, func(g hub.DemoStream, batch []float64) (string, error) {
+		resp, err := c.Push(ctx, g.ID, batch)
 		if err != nil && !client.IsBackpressure(err) {
 			// Only backpressure is a countable rejection; anything else
 			// (connection loss, unknown stream) must abort the run, not
 			// masquerade as drops in the report.
-			return fmt.Errorf("%w: %s: %v", errPushFatal, g.ID, err)
+			return "", fmt.Errorf("%w: %s: %v", errPushFatal, g.ID, err)
 		}
-		return err
+		// Backend is the router's owner echo (X-Etsc-Backend); empty when
+		// the target is a single node, which suppresses the breakdown.
+		return resp.Backend, err
 	})
 	if res.err != nil {
 		return res.err
@@ -452,18 +454,23 @@ func loadgenRemote(w *os.File, base string, kinds []hub.Kind, seed int64, stream
 // instead of counting as a backpressure rejection.
 var errPushFatal = errors.New("etsc-serve: load generator push failed")
 
-// loadResult aggregates what the pushers measured.
+// loadResult aggregates what the pushers measured. perBackend splits
+// the latency samples by the owner backend a routing front tier echoed
+// per push (empty when the target was a single node).
 type loadResult struct {
-	start     time.Time
-	latencies []time.Duration
-	rejected  int
-	total     int64
-	err       error // first errPushFatal-wrapped failure, if any
+	start      time.Time
+	latencies  []time.Duration
+	perBackend map[string][]time.Duration
+	rejected   int
+	total      int64
+	err        error // first errPushFatal-wrapped failure, if any
 }
 
 // driveStreams runs one goroutine per stream, pushing batches through
-// push with optional pacing, and aggregates latencies and tallies.
-func driveStreams(gens []hub.DemoStream, batchSize int, rate float64, push func(hub.DemoStream, []float64) error) loadResult {
+// push with optional pacing, and aggregates latencies and tallies. push
+// returns the serving backend's name ("" when there is no front tier);
+// non-empty names feed the per-backend latency breakdown.
+func driveStreams(gens []hub.DemoStream, batchSize int, rate float64, push func(hub.DemoStream, []float64) (string, error)) loadResult {
 	var (
 		mu  sync.Mutex
 		res loadResult
@@ -480,6 +487,7 @@ func driveStreams(gens []hub.DemoStream, batchSize int, rate float64, push func(
 			}
 			next := time.Now()
 			local := make([]time.Duration, 0, len(g.Data)/batchSize+1)
+			localBy := map[string][]time.Duration{}
 			rejected := 0
 			var pushed int64
 			for off := 0; off < len(g.Data); off += batchSize {
@@ -494,8 +502,12 @@ func driveStreams(gens []hub.DemoStream, batchSize int, rate float64, push func(
 					next = next.Add(interval)
 				}
 				t0 := time.Now()
-				err := push(g, g.Data[off:end])
-				local = append(local, time.Since(t0))
+				backend, err := push(g, g.Data[off:end])
+				lat := time.Since(t0)
+				local = append(local, lat)
+				if backend != "" {
+					localBy[backend] = append(localBy[backend], lat)
+				}
 				if errors.Is(err, errPushFatal) {
 					mu.Lock()
 					if res.err == nil {
@@ -512,6 +524,12 @@ func driveStreams(gens []hub.DemoStream, batchSize int, rate float64, push func(
 			}
 			mu.Lock()
 			res.latencies = append(res.latencies, local...)
+			for name, lats := range localBy {
+				if res.perBackend == nil {
+					res.perBackend = map[string][]time.Duration{}
+				}
+				res.perBackend[name] = append(res.perBackend[name], lats...)
+			}
 			res.rejected += rejected
 			res.total += pushed
 			mu.Unlock()
@@ -553,6 +571,22 @@ func printLoadReport(w *os.File, kinds []hub.Kind, res loadResult, ingestWall ti
 		fmt.Fprintf(w, "push latency: p50=%v p99=%v max=%v (%d pushes, %d rejected)\n",
 			percentile(res.latencies, 0.50), percentile(res.latencies, 0.99),
 			percentile(res.latencies, 1.0), len(res.latencies), res.rejected)
+	}
+	// Per-backend breakdown: present only when the target echoed owner
+	// backends (i.e. the pushes went through a routing front tier).
+	if len(res.perBackend) > 0 {
+		names := make([]string, 0, len(res.perBackend))
+		for name := range res.perBackend {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			lats := res.perBackend[name]
+			sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+			fmt.Fprintf(w, "backend %-12s %6d pushes, p50=%v p99=%v max=%v\n",
+				name, len(lats),
+				percentile(lats, 0.50), percentile(lats, 0.99), percentile(lats, 1.0))
+		}
 	}
 	names := make([]string, 0, len(kinds))
 	for _, k := range kinds {

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"etsc/internal/hub"
+	"etsc/internal/router"
 	"etsc/internal/serve"
 )
 
@@ -205,8 +206,71 @@ func TestLoadgenRemoteSmoke(t *testing.T) {
 			t.Errorf("remote loadgen report missing %q:\n%s", want, out)
 		}
 	}
+	// A single node never echoes an owner backend, so no breakdown.
+	if strings.Contains(string(out), "\nbackend ") {
+		t.Errorf("single-node loadgen report has a per-backend breakdown:\n%s", out)
+	}
 	if _, err := h.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLoadgenRemoteRouterBreakdown points -target at a two-backend
+// etsc-router: every push response carries the owner's X-Etsc-Backend
+// echo, and the report must split latency per backend.
+func TestLoadgenRemoteRouterBreakdown(t *testing.T) {
+	kinds, err := hub.DemoKinds(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]router.BackendSpec, 2)
+	for i := range specs {
+		h, err := hub.New(hub.Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handler, err := serve.New(h, kinds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(handler)
+		defer srv.Close()
+		specs[i] = router.BackendSpec{Name: "node-" + strconv.Itoa(i), URL: srv.URL}
+	}
+	rt, err := router.New(router.Config{Backends: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	tmp, err := os.Create(filepath.Join(t.TempDir(), "loadgen-router.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := loadgenRemote(tmp, front.URL, kinds, 3, 4, 3000, 64, 0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 streams over 2 backends: both must show up with their own
+	// percentiles (FNV placement of the demo ids covers both for seed 3).
+	seen := 0
+	for _, name := range []string{"node-0", "node-1"} {
+		if strings.Contains(string(out), "backend "+name) {
+			seen++
+		}
+	}
+	if seen == 0 {
+		t.Errorf("router loadgen report has no per-backend breakdown:\n%s", out)
+	}
+	if !strings.Contains(string(out), "pushes, p50=") {
+		t.Errorf("per-backend breakdown missing latency percentiles:\n%s", out)
 	}
 }
 

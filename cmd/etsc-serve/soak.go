@@ -155,7 +155,10 @@ func soakRun(w *os.File, kinds []hub.Kind, seed int64, quick bool) error {
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 	base := "http://" + ln.Addr().String()
-	c, err := client.New(base)
+	// Retries smooth transient transport faults on the idempotent calls
+	// (watch reconnects, stats, detach). Plain pushes and 429s are never
+	// retried by contract, so shed accounting stays exact.
+	c, err := client.New(base, client.WithRetry(4, 100*time.Millisecond))
 	if err != nil {
 		return err
 	}

@@ -134,6 +134,17 @@ func (c *Client) RestoreStream(ctx context.Context, snap StreamSnapshot) (Stream
 	return out, err
 }
 
+// Health probes GET /v1/healthz: nil error means the server is up and
+// ready (boot-time checkpoint restore finished). A server mid-restore
+// answers 503/CodeUnavailable. Deliberately single-shot even under
+// WithRetry — a health prober must see failures, not have them smoothed
+// away by its own transport.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var out Health
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out, false)
+	return out, err
+}
+
 // Stats fetches hub-wide totals (GET /v1/stats).
 func (c *Client) Stats(ctx context.Context) (Totals, error) {
 	var out Totals
@@ -232,6 +243,11 @@ func (c *Client) once(ctx context.Context, method, path string, raw []byte, out 
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	// A routing front tier echoes the owner backend on every proxied
+	// response; response types that care (PushResponse) pick it up here.
+	if bs, ok := out.(interface{ setBackend(string) }); ok {
+		bs.setBackend(resp.Header.Get(BackendHeader))
 	}
 	return nil
 }

@@ -34,7 +34,40 @@ type WatchStream struct {
 // cancellable context, not a deadline-bound one, for long-lived watches,
 // and an http.Client without a Timeout (the default) — a client timeout
 // kills the subscription mid-flight.
+//
+// Subscribing is an idempotent GET, so under WithRetry a failed subscribe
+// — connection refused, or a 5xx such as a router front tier answering
+// 503/unavailable during a backend failover — is retried with the same
+// exponential-backoff-plus-jitter schedule as every other idempotent
+// call, instead of failing straight back into the caller's reconnect
+// loop. The since cursor (and thus the Last-Event-ID resume contract) is
+// untouched: every attempt subscribes at the same position.
 func (c *Client) Watch(ctx context.Context, id string, since int) (*WatchStream, error) {
+	attempts := 1
+	if c.retries > 1 {
+		attempts = c.retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepBackoff(ctx, c.backoff, attempt); err != nil {
+				return nil, lastErr
+			}
+		}
+		ws, err := c.watchOnce(ctx, id, since)
+		if err == nil {
+			return ws, nil
+		}
+		lastErr = err
+		if !retryable(err) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// watchOnce issues a single subscribe attempt.
+func (c *Client) watchOnce(ctx context.Context, id string, since int) (*WatchStream, error) {
 	q := url.Values{"since": {strconv.Itoa(since)}}
 	path := "/v1/streams/" + url.PathEscape(id) + "/watch?" + q.Encode()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
@@ -44,7 +77,7 @@ func (c *Client) Watch(ctx context.Context, id string, since int) (*WatchStream,
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: watch %s: %w", id, err)
+		return nil, &transportError{fmt.Errorf("client: watch %s: %w", id, err)}
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		defer resp.Body.Close()

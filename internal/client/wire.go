@@ -56,9 +56,22 @@ const (
 	CodeGap ErrorCode = "gap"
 	// CodeClosed — the hub is shutting down.
 	CodeClosed ErrorCode = "closed"
+	// CodeUnavailable — the serving process (or, behind a router, the
+	// stream's owner backend) cannot take the request right now: boot
+	// restore still in flight, or a backend dead with recovery under way.
+	// Transient by construction; retry with backoff (HTTP 503 +
+	// Retry-After). Idempotent calls under WithRetry do so automatically.
+	CodeUnavailable ErrorCode = "unavailable"
 	// CodeInternal — unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
+
+// BackendHeader is the response header a routing front tier (etsc-router)
+// sets on every proxied response: the name of the owner backend that
+// actually served the request. Single-node servers do not set it. The
+// typed client copies it into PushResponse.Backend so load generators can
+// attribute per-backend latency.
+const BackendHeader = "X-Etsc-Backend"
 
 // APIError is the structured error body every /v1 endpoint returns on
 // failure, wrapped in ErrorEnvelope. It doubles as the error type the
@@ -142,10 +155,26 @@ type PushRequest struct {
 	At *int `json:"at,omitempty"`
 }
 
-// PushResponse acknowledges an accepted batch.
+// PushResponse acknowledges an accepted batch. Backend is not on the
+// wire: the client fills it from the BackendHeader response header when a
+// routing front tier served the push ("" direct against a single node).
 type PushResponse struct {
-	Stream string `json:"stream"`
-	Queued int    `json:"queued"`
+	Stream  string `json:"stream"`
+	Queued  int    `json:"queued"`
+	Backend string `json:"-"`
+}
+
+// setBackend records the routing front tier's owner-backend echo; the
+// client's response path calls it on types that implement the hook.
+func (r *PushResponse) setBackend(name string) { r.Backend = name }
+
+// Health is GET /v1/healthz: the cheap liveness/readiness probe. Status
+// is "ok" once the server is ready (boot-time checkpoint restore, if any,
+// has completed); while restore is in flight the endpoint answers 503
+// with a CodeUnavailable envelope instead.
+type Health struct {
+	Status  string `json:"status"`
+	Streams int    `json:"streams"`
 }
 
 // DetectionsPage is GET /v1/detections?stream=ID&since=N: the *settled*
@@ -204,6 +233,24 @@ type StreamReport = hub.StreamReport
 
 // Totals is GET /v1/stats; the alias pins hub.Totals into the contract.
 type Totals = hub.Totals
+
+// BackendTotals is one backend's row in a router's /v1/stats fan-out:
+// the backend's name and probe state plus its own hub totals (zero-valued
+// when the backend is dead and could not be asked).
+type BackendTotals struct {
+	Backend string `json:"backend"`
+	Alive   bool   `json:"alive"`
+	hub.Totals
+}
+
+// RouterStatsResponse is GET /v1/stats as served by etsc-router: the
+// fleet-wide sum (flattened, so clients decoding plain Totals keep
+// working against a router unchanged) plus one row per backend in table
+// order. Dead backends appear with Alive false and zero totals.
+type RouterStatsResponse struct {
+	hub.Totals
+	Backends []BackendTotals `json:"backends,omitempty"`
+}
 
 // StatsResponse is the full GET /v1/stats body: the hub-wide totals
 // (flattened — pre-shard clients decoding into Totals keep working

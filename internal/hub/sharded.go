@@ -8,11 +8,12 @@
 // is divided by N and ingest scales with cores until the shards themselves
 // saturate.
 //
-// Hash contract: shardIndex is FNV-1a over the stream ID, mod the shard
-// count. It is a pure function of (id, shards) — stable across runs,
-// processes, and architectures — so any layer that knows the shard count
-// (the /v1 serving layer, external routers, a future consistent-hash
-// front) computes the same placement without asking the hub.
+// Hash contract: shardIndex is placement.Index — FNV-1a over the stream
+// ID, mod the shard count. It is a pure function of (id, shards) — stable
+// across runs, processes, and architectures — so any layer that knows the
+// shard count (the /v1 serving layer, the etsc-router front tier, any
+// external router) computes the same placement without asking the hub.
+// internal/placement owns the function; this file only delegates.
 //
 // Determinism contract: sharding is invisible in per-stream output. A
 // stream lives on exactly one shard and keeps the Hub guarantee (batches
@@ -34,6 +35,7 @@ import (
 
 	"etsc/internal/metrics"
 	"etsc/internal/par"
+	"etsc/internal/placement"
 	"etsc/internal/stream"
 )
 
@@ -119,20 +121,10 @@ func (sh *ShardedHub) ShardFor(id string) int {
 	return shardIndex(id, len(sh.shards))
 }
 
-// shardIndex is FNV-1a(id) mod n, inlined over the string so the Push hot
-// path hashes without allocating.
-func shardIndex(id string, n int) int {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(id); i++ {
-		h ^= uint32(id[i])
-		h *= prime32
-	}
-	return int(h % uint32(n))
-}
+// shardIndex is the shared placement contract — FNV-1a(id) mod n,
+// allocation-free — now owned by internal/placement so the router front
+// tier computes the identical function (placement.Index inlines here).
+func shardIndex(id string, n int) int { return placement.Index(id, n) }
 
 // shard returns the Hub owning id.
 func (sh *ShardedHub) shard(id string) *Hub { return sh.shards[sh.ShardFor(id)] }

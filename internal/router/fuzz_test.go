@@ -1,0 +1,82 @@
+package router
+
+// FuzzRouterMerge fuzzes the router's two pure kernels — placement
+// resolution and /metrics exposition merging — the parts whose
+// correctness everything else leans on.
+//
+// Routing half: for arbitrary stream ids and table sizes, resolve() must
+// agree with the offline placement contract (placement.Index over the
+// table), an installed override must win, and clearing it must fall back
+// to the hash home. This is the property that lets any client, operator,
+// or second router compute ownership without asking anyone.
+//
+// Merge half: mergeExposition over arbitrary bytes must never panic, and
+// every sample line it keeps must carry the injected backend label — a
+// misbehaving backend can degrade its own scrape but never corrupt the
+// merged output's attribution.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"etsc/internal/placement"
+)
+
+func FuzzRouterMerge(f *testing.F) {
+	f.Add("coop7", uint8(3), uint8(1), []byte("# TYPE etsc_streams gauge\netsc_streams 4\n"))
+	f.Add("", uint8(1), uint8(0), []byte("# HELP x y\n# TYPE x counter\nx{a=\"b\"} 1\n"))
+	f.Add("words-00", uint8(4), uint8(7), []byte("garbage\n\n#\n# TYPE\nname_bucket{le=\"+Inf\"} 2\n"))
+	f.Add("gunpoint-12", uint8(2), uint8(0), []byte("etsc_hist_bucket{le=\"0.5\"} 1\netsc_hist_sum 2\netsc_hist_count 3\n"))
+
+	f.Fuzz(func(t *testing.T, id string, nRaw, ovRaw uint8, expo []byte) {
+		n := 1 + int(nRaw%4)
+		specs := make([]BackendSpec, n)
+		for i := range specs {
+			specs[i] = BackendSpec{Name: fmt.Sprintf("b%d", i), URL: fmt.Sprintf("http://127.0.0.1:%d", 20000+i)}
+		}
+		rt, err := New(Config{Backends: specs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		table := *rt.table.Load()
+
+		// Hash-home resolution agrees with the offline contract.
+		want := table[placement.Index(id, n)]
+		if got := rt.resolve(id); got != want {
+			t.Fatalf("resolve(%q) = %q, want placement home %q", id, got.name, want.name)
+		}
+		// An override wins; clearing it falls back home.
+		ov := table[int(ovRaw)%n]
+		rt.setOverride(id, ov.name)
+		if got := rt.resolve(id); got != ov {
+			t.Fatalf("resolve(%q) with override = %q, want %q", id, got.name, ov.name)
+		}
+		// An override naming a backend that left the table is ignored.
+		rt.setOverride(id, "gone-node")
+		if got := rt.resolve(id); got != want {
+			t.Fatalf("resolve(%q) with dangling override = %q, want home %q", id, got.name, want.name)
+		}
+		rt.setOverride(id, "")
+		if got := rt.resolve(id); got != want {
+			t.Fatalf("resolve(%q) after clear = %q, want home %q", id, got.name, want.name)
+		}
+
+		// Merging arbitrary bytes never panics, and every surviving sample
+		// is attributed to the contributing backend.
+		fams := map[string]*family{}
+		var order []string
+		mergeExposition(fams, &order, string(expo), "b0")
+		for _, name := range order {
+			fam := fams[name]
+			for _, s := range fam.samples {
+				if !strings.Contains(s, `backend="b0"`) {
+					t.Fatalf("merged sample %q lost its backend label", s)
+				}
+			}
+			if fam.typ == "" && len(fam.samples) > 0 {
+				t.Fatalf("family %q has samples but no type", name)
+			}
+		}
+	})
+}

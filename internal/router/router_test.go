@@ -1,0 +1,316 @@
+package router
+
+// The routing basics: placement, the owner-backend echo, fan-out merges,
+// error pass-through, the watch pass-through's equivalence with the
+// cursor API, and the merged /metrics exposition.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"etsc/internal/client"
+	"etsc/internal/hub"
+	"etsc/internal/metrics"
+	"etsc/internal/placement"
+	"etsc/internal/serve/servetest"
+)
+
+// fleetStreams renders a deterministic demo fleet and registers every
+// stream through the router, returning the streams.
+func fleetStreams(t *testing.T, f *fleet, n, minLen int) []hub.DemoStream {
+	t.Helper()
+	streams, err := hub.DemoStreams(servetest.DemoKinds(t), 7, n, minLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, ds := range streams {
+		if _, err := f.c.CreateStream(ctx, client.CreateStreamRequest{ID: ds.ID, Kind: ds.Kind}); err != nil {
+			t.Fatalf("create %s: %v", ds.ID, err)
+		}
+	}
+	return streams
+}
+
+// TestRoutingMatchesPlacement pins the routing contract: every
+// stream-scoped request lands on table[placement.Index(id, N)], the owner
+// is echoed in X-Etsc-Backend, and the stream is physically present on
+// that backend and nowhere else.
+func TestRoutingMatchesPlacement(t *testing.T) {
+	f := newFleet(t, 3, fleetOpts{})
+	streams := fleetStreams(t, f, 9, 2400)
+	ctx := context.Background()
+	for _, ds := range streams {
+		want := f.backends[placement.Index(ds.ID, 3)]
+		resp, err := f.c.PushAt(ctx, ds.ID, 0, ds.Data[:50])
+		if err != nil {
+			t.Fatalf("push %s: %v", ds.ID, err)
+		}
+		if resp.Backend != want.name {
+			t.Errorf("stream %s served by %q, want %q", ds.ID, resp.Backend, want.name)
+		}
+		// Physically on the owner, absent elsewhere.
+		if _, err := want.c.Stream(ctx, ds.ID); err != nil {
+			t.Errorf("stream %s not on its home %q: %v", ds.ID, want.name, err)
+		}
+		for _, b := range f.backends {
+			if b == want {
+				continue
+			}
+			if _, err := b.c.Stream(ctx, ds.ID); err == nil {
+				t.Errorf("stream %s also present on %q", ds.ID, b.name)
+			}
+		}
+	}
+	// Through-the-router reads agree with direct-backend reads.
+	for _, ds := range streams {
+		via, err := f.c.Stream(ctx, ds.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := f.homeOf(ds.ID).c.Stream(ctx, ds.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(via, direct) {
+			t.Errorf("stream %s: router view %+v != backend view %+v", ds.ID, via, direct)
+		}
+	}
+}
+
+// TestFanoutMerge pins the cross-stream endpoints: the stream list is the
+// sorted union across backends, and /v1/stats is the commutative sum with
+// one row per backend.
+func TestFanoutMerge(t *testing.T) {
+	f := newFleet(t, 3, fleetOpts{})
+	streams := fleetStreams(t, f, 6, 2400)
+	ctx := context.Background()
+	for _, ds := range streams {
+		if _, err := f.c.PushAt(ctx, ds.ID, 0, ds.Data[:200]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.flushAlive(nil)
+
+	list, err := f.c.Streams(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(streams) {
+		t.Fatalf("router lists %d streams, want %d", len(list), len(streams))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].ID >= list[i].ID {
+			t.Fatalf("stream list not sorted: %q before %q", list[i-1].ID, list[i].ID)
+		}
+	}
+
+	// The plain Totals decoding keeps working against a router.
+	totals, err := f.c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Streams != len(streams) {
+		t.Errorf("summed Streams = %d, want %d", totals.Streams, len(streams))
+	}
+	var wantPoints int64
+	for _, b := range f.backends {
+		wantPoints += b.hub.Stats().Points
+	}
+	if totals.Points != wantPoints {
+		t.Errorf("summed Points = %d, want %d", totals.Points, wantPoints)
+	}
+
+	// The full router body carries one row per backend, in table order.
+	raw, err := http.Get(f.http.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	var rs client.RouterStatsResponse
+	if err := json.NewDecoder(raw.Body).Decode(&rs); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Backends) != 3 {
+		t.Fatalf("stats rows = %d, want 3", len(rs.Backends))
+	}
+	var rowStreams int
+	for i, row := range rs.Backends {
+		if row.Backend != f.backends[i].name {
+			t.Errorf("row %d is %q, want %q (table order)", i, row.Backend, f.backends[i].name)
+		}
+		if !row.Alive {
+			t.Errorf("row %q not alive", row.Backend)
+		}
+		rowStreams += row.Streams
+	}
+	if rowStreams != len(streams) {
+		t.Errorf("per-backend rows sum to %d streams, want %d", rowStreams, len(streams))
+	}
+}
+
+// TestErrorPassThrough pins the router's transparency to backend
+// decisions: typed errors cross the router with status and code intact,
+// and the router's own surface errors are structured too.
+func TestErrorPassThrough(t *testing.T) {
+	f := newFleet(t, 2, fleetOpts{})
+	ctx := context.Background()
+
+	_, err := f.c.Stream(ctx, "nope")
+	servetest.APIErrOf(t, err, http.StatusNotFound, client.CodeUnknownStream)
+
+	_, err = f.c.CreateStream(ctx, client.CreateStreamRequest{ID: "x", Kind: "no-such-kind"})
+	servetest.APIErrOf(t, err, http.StatusBadRequest, client.CodeUnknownKind)
+
+	if _, err := f.c.CreateStream(ctx, client.CreateStreamRequest{ID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.c.CreateStream(ctx, client.CreateStreamRequest{ID: "x"})
+	servetest.APIErrOf(t, err, http.StatusConflict, client.CodeDuplicateStream)
+
+	// Positioned gap refuses through the router exactly as direct.
+	_, err = f.c.PushAt(ctx, "x", 10_000, []float64{1})
+	servetest.APIErrOf(t, err, http.StatusConflict, client.CodeGap)
+
+	// The router's own dispatch errors carry the envelope.
+	status, body := servetest.RawStatus(t, http.MethodPut, f.http.URL+"/v1/streams", "")
+	if status != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT /v1/streams = %d, want 405", status)
+	}
+	if code := servetest.EnvelopeCode(t, body); code != client.CodeMethodNotAllowed {
+		t.Fatalf("code = %s, want %s", code, client.CodeMethodNotAllowed)
+	}
+	status, body = servetest.RawStatus(t, http.MethodGet, f.http.URL+"/v1/no-such", "")
+	if status != http.StatusNotFound {
+		t.Fatalf("GET /v1/no-such = %d, want 404", status)
+	}
+	if code := servetest.EnvelopeCode(t, body); code != client.CodeNotFound {
+		t.Fatalf("code = %s, want %s", code, client.CodeNotFound)
+	}
+
+	// Router healthz answers locally.
+	h, err := f.c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("router healthz = %+v, %v", h, err)
+	}
+}
+
+// TestWatchThroughRouter pins the pass-through subscription against the
+// cursor API: a watcher through the router sees exactly the settled
+// transcript, in order, with contiguous indexes.
+func TestWatchThroughRouter(t *testing.T) {
+	f := newFleet(t, 3, fleetOpts{})
+	streams := fleetStreams(t, f, 3, 2400)
+	ds := streams[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ws, err := f.c.Watch(ctx, ds.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+
+	for at := 0; at < len(ds.Data); at += 100 {
+		end := at + 100
+		if end > len(ds.Data) {
+			end = len(ds.Data)
+		}
+		if _, err := f.c.PushAt(ctx, ds.ID, at, ds.Data[at:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.flushAlive(nil)
+	page, err := f.c.Detections(ctx, ds.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete ends the feed with a Final frame.
+	done := make(chan client.StreamReport, 1)
+	go func() {
+		rep, err := f.c.DeleteStream(context.Background(), ds.ID)
+		if err != nil {
+			t.Errorf("delete: %v", err)
+		}
+		done <- rep
+	}()
+
+	var got int
+	for {
+		fr, err := ws.Next()
+		if err != nil {
+			t.Fatalf("watch ended early after %d frames: %v", got, err)
+		}
+		if fr.Final {
+			break
+		}
+		if fr.Index != got {
+			t.Fatalf("frame %d carries index %d (not contiguous)", got, fr.Index)
+		}
+		if got < len(page.Detections) && !reflect.DeepEqual(*fr.Detection, page.Detections[got]) {
+			t.Fatalf("frame %d != cursor page entry:\n %+v\n %+v", got, *fr.Detection, page.Detections[got])
+		}
+		got++
+	}
+	rep := <-done
+	if got != len(rep.Detections) {
+		t.Fatalf("watched %d detections, final report has %d", got, len(rep.Detections))
+	}
+}
+
+// TestMetricsAggregation pins the merged exposition: lintable, router
+// families present, every backend visible under its backend label.
+func TestMetricsAggregation(t *testing.T) {
+	f := newFleet(t, 3, fleetOpts{})
+	streams := fleetStreams(t, f, 3, 2400)
+	ctx := context.Background()
+	for _, ds := range streams {
+		if _, err := f.c.PushAt(ctx, ds.ID, 0, ds.Data[:200]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range f.backends {
+		b.srv.EnableMetrics(nil)
+	}
+	f.flushAlive(nil)
+
+	resp, err := http.Get(f.http.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text := readAll(t, resp)
+	if err := metrics.Lint(strings.NewReader(text)); err != nil {
+		t.Fatalf("merged exposition does not lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"etsc_router_backend_alive",
+		"etsc_router_overrides",
+		`backend="a-node"`,
+		`backend="b-node"`,
+		`backend="c-node"`,
+		"etsc_streams{backend=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("merged exposition missing %q", want)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}

@@ -59,31 +59,62 @@ func (s *Server) ExportCheckpoint(id string) ([]byte, error) {
 	return snap.Encode(checkpointKind, checkpointVersion, w.Bytes()), nil
 }
 
+// CheckpointMeta is a decoded checkpoint frame: the stream's identity,
+// the registration metadata needed to rebuild its trained classifier, and
+// the opaque hub state frame. DecodeCheckpoint produces it; the router
+// front tier uses it to restore a dead backend's streams onto survivors
+// from shared checkpoint storage.
+type CheckpointMeta struct {
+	ID     string
+	Kind   string
+	Spec   string
+	Engine string
+	State  []byte
+}
+
+// DecodeCheckpoint validates and unpacks one serve-layer checkpoint frame
+// (the .ckpt file format ExportCheckpoint writes). Only the outer frame
+// is validated here; the inner hub state frame re-validates when it is
+// restored.
+func DecodeCheckpoint(frame []byte) (CheckpointMeta, error) {
+	var m CheckpointMeta
+	kind, ver, payload, err := snap.Decode(frame)
+	if err != nil {
+		return m, err
+	}
+	if kind != checkpointKind {
+		return m, fmt.Errorf("%w: frame kind %q, want %q", snap.ErrCorrupt, kind, checkpointKind)
+	}
+	if ver != checkpointVersion {
+		return m, fmt.Errorf("%w: checkpoint version %d, this build reads %d", snap.ErrVersion, ver, checkpointVersion)
+	}
+	r := snap.NewReader(payload)
+	m.ID = r.String()
+	m.Kind = r.String()
+	m.Spec = r.String()
+	m.Engine = r.String()
+	m.State = r.Blob()
+	if err := r.Done(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
 // restoreCheckpoint decodes one checkpoint frame and attaches its stream.
 // A frame that decodes but whose state the hub rejects degrades to a
 // fresh attach with the same configuration (fellBack true); a frame that
 // does not decode, names an unserved kind, or collides with a live stream
 // returns an error and attaches nothing.
 func (s *Server) restoreCheckpoint(frame []byte) (id string, fellBack bool, err error) {
-	kind, ver, payload, err := snap.Decode(frame)
+	m, err := DecodeCheckpoint(frame)
 	if err != nil {
-		return "", false, err
+		return m.ID, false, err
 	}
-	if kind != checkpointKind {
-		return "", false, fmt.Errorf("%w: frame kind %q, want %q", snap.ErrCorrupt, kind, checkpointKind)
-	}
-	if ver != checkpointVersion {
-		return "", false, fmt.Errorf("%w: checkpoint version %d, this build reads %d", snap.ErrVersion, ver, checkpointVersion)
-	}
-	r := snap.NewReader(payload)
-	id = r.String()
-	kindName := r.String()
-	spec := r.String()
-	engine := r.String()
-	state := r.Blob()
-	if err := r.Done(); err != nil {
-		return id, false, err
-	}
+	id = m.ID
+	kindName := m.Kind
+	spec := m.Spec
+	engine := m.Engine
+	state := m.State
 	k, ok := s.kinds[kindName]
 	if !ok {
 		return id, false, fmt.Errorf("checkpoint for %q names unserved kind %q", id, kindName)
@@ -146,6 +177,10 @@ func (s *Server) RestoreFromDir(dir string, logf func(format string, args ...any
 	if logf == nil {
 		logf = log.Printf
 	}
+	// Readiness gate: /v1/healthz answers 503 until this pass finishes,
+	// so a router prober never routes at a half-restored backend.
+	s.restoring.Add(1)
+	defer s.restoring.Add(-1)
 	var st RestoreStats
 	entries, err := os.ReadDir(dir)
 	if errors.Is(err, os.ErrNotExist) {

@@ -4,3 +4,9 @@ package serve
 // package, which uses it to build Reference oracles for spec-override
 // streams.
 var SpecStreamConfig = specStreamConfig
+
+// BeginRestore/EndRestore expose the boot-restore readiness gate so the
+// healthz battery can hold the server in the "restore in flight" state
+// deterministically instead of racing a real RestoreFromDir.
+func (s *Server) BeginRestore() { s.restoring.Add(1) }
+func (s *Server) EndRestore()   { s.restoring.Add(-1) }

@@ -1,0 +1,97 @@
+package serve_test
+
+// GET /v1/healthz — the readiness probe the router's health loop (and
+// any orchestrator) keys off: 200/ok when the server can take traffic,
+// 503/unavailable while a boot-time checkpoint restore is in flight.
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"etsc/internal/client"
+	"etsc/internal/hub"
+	"etsc/internal/serve"
+	"etsc/internal/serve/servetest"
+)
+
+func TestHealthzReadiness(t *testing.T) {
+	ts := servetest.New(t, hub.Config{Workers: 2}, servetest.DemoKinds(t))
+	ctx := context.Background()
+
+	h, err := ts.Client.Health(ctx)
+	if err != nil {
+		t.Fatalf("healthz on an idle server: %v", err)
+	}
+	if h.Status != "ok" || h.Streams != 0 {
+		t.Fatalf("healthz = %+v, want ok/0", h)
+	}
+
+	// Streams count tracks the hub.
+	if _, err := ts.Client.CreateStream(ctx, client.CreateStreamRequest{ID: "hz-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if h, err = ts.Client.Health(ctx); err != nil || h.Streams != 1 {
+		t.Fatalf("healthz after create = %+v, %v; want 1 stream", h, err)
+	}
+
+	// While a checkpoint restore is in flight the server is not ready:
+	// structured 503/unavailable, which the typed client surfaces as an
+	// error (deliberately not retried — probers must see failures).
+	ts.Srv.BeginRestore()
+	_, err = ts.Client.Health(ctx)
+	servetest.APIErrOf(t, err, http.StatusServiceUnavailable, client.CodeUnavailable)
+	ts.Srv.EndRestore()
+
+	if h, err = ts.Client.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz after restore = %+v, %v; want ok", h, err)
+	}
+
+	// Wrong method is a structured 405.
+	status, body := servetest.RawStatus(t, http.MethodPost, ts.HTTP.URL+"/v1/healthz", "")
+	if status != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/healthz = %d, want 405", status)
+	}
+	if code := servetest.EnvelopeCode(t, body); code != client.CodeMethodNotAllowed {
+		t.Fatalf("code = %s, want %s", code, client.CodeMethodNotAllowed)
+	}
+	ts.CloseHub(t)
+}
+
+// TestHealthzDuringBootRestore drives the real path: a server built over
+// a checkpoint directory reports ready only after RestoreFromDir
+// returns, and the restored streams are counted.
+func TestHealthzDuringBootRestore(t *testing.T) {
+	kinds := servetest.DemoKinds(t)
+	dir := t.TempDir()
+
+	// First life: a stream checkpointed to disk.
+	ts1 := servetest.New(t, hub.Config{Workers: 2}, kinds)
+	ctx := context.Background()
+	if _, err := ts1.Client.CreateStream(ctx, client.CreateStreamRequest{ID: "boot-1"}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := serve.NewCheckpointer(ts1.Srv, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.CloseHub(t)
+
+	// Second life: restore from the directory, then the probe is green
+	// and the stream is back.
+	ts2 := servetest.New(t, hub.Config{Workers: 2}, kinds)
+	if _, err := ts2.Srv.RestoreFromDir(dir, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ts2.Client.Health(ctx)
+	if err != nil {
+		t.Fatalf("healthz after boot restore: %v", err)
+	}
+	if h.Status != "ok" || h.Streams != 1 {
+		t.Fatalf("healthz after boot restore = %+v, want ok/1", h)
+	}
+	ts2.CloseHub(t)
+}

@@ -13,6 +13,7 @@
 //	POST   /v1/streams/{id}/snapshot   recreate a stream from a snapshot
 //	GET    /v1/stats              hub totals
 //	GET    /v1/detections?stream=ID&since=N   cursor-paged detections
+//	GET    /v1/healthz            readiness probe (503 while boot restore runs)
 //	GET    /metrics               Prometheus text exposition (after EnableMetrics)
 //
 // Every `/v1` failure is a structured JSON error
@@ -89,6 +90,11 @@ type Server struct {
 	ckptRestored  atomic.Int64
 	ckptFallbacks atomic.Int64
 	ckptSkipped   atomic.Int64
+
+	// restoring counts boot-restore passes in flight; /v1/healthz answers
+	// 503/unavailable while it is non-zero so health probers (the router
+	// front tier) do not route traffic at a half-restored fleet.
+	restoring atomic.Int32
 }
 
 // streamMeta is the registration-time description of an attached stream.
@@ -209,6 +215,12 @@ func (s *Server) handleV1(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.v1Watch(w, r, seg[1])
+	case rest == "healthz":
+		if r.Method != http.MethodGet {
+			writeAPIError(w, methodNotAllowed(r, http.MethodGet))
+			return
+		}
+		s.v1Healthz(w)
 	case rest == "stats":
 		if r.Method != http.MethodGet {
 			writeAPIError(w, methodNotAllowed(r, http.MethodGet))
@@ -232,6 +244,23 @@ func (s *Server) handleV1(w http.ResponseWriter, r *http.Request) {
 			Message: fmt.Sprintf("no /v1 endpoint %q", r.URL.Path),
 		})
 	}
+}
+
+// v1Healthz is the router-facing probe (GET /v1/healthz): a cheap 200
+// once the server is ready, 503/unavailable while a boot-time checkpoint
+// restore is still in flight. Readiness, not just liveness — a prober
+// must not route traffic at a fleet member that has not finished
+// rebuilding its streams.
+func (s *Server) v1Healthz(w http.ResponseWriter) {
+	if s.restoring.Load() > 0 {
+		writeAPIError(w, &client.APIError{
+			Status:  http.StatusServiceUnavailable,
+			Code:    client.CodeUnavailable,
+			Message: "checkpoint restore in flight; not ready",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, client.Health{Status: "ok", Streams: s.hub.Stats().Streams})
 }
 
 // v1CreateStream registers a stream from a declarative description: a
